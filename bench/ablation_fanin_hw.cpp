@@ -1,0 +1,100 @@
+// Ablation connecting Sections 5 and 6: miss reduction versus hardware
+// cost across reconfigurable implementations. For each cache size this
+// prints the average Table-2 data-cache reduction achieved by each
+// function class next to its switch count — the paper's core trade-off
+// (permutation-based 2-in: cheapest hardware, nearly all of the benefit).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "hash/hardware_cost.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xoridx;
+  using bench::cell;
+  using hash::ReconfigurableKind;
+
+  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  const workloads::Scale scale =
+      small ? workloads::Scale::small : workloads::Scale::full;
+
+  struct Config {
+    const char* label;
+    search::FunctionClass function_class;
+    int max_fan_in;
+    ReconfigurableKind hw;
+  };
+  const std::vector<Config> configs = {
+      {"bit-select (heuristic)", search::FunctionClass::bit_select, 1,
+       ReconfigurableKind::bit_select_optimized},
+      {"permutation 2-in", search::FunctionClass::permutation, 2,
+       ReconfigurableKind::permutation_based_2in},
+      {"permutation 4-in", search::FunctionClass::permutation, 4,
+       ReconfigurableKind::permutation_based_2in},
+      {"permutation 16-in", search::FunctionClass::permutation,
+       search::SearchOptions::unlimited,
+       ReconfigurableKind::permutation_based_2in},
+      {"general XOR", search::FunctionClass::general_xor,
+       search::SearchOptions::unlimited, ReconfigurableKind::general_xor_2in},
+  };
+
+  // Gather per-config, per-geometry miss-weighted average reductions.
+  const auto& geoms = bench::paper_geometries();
+  std::vector<std::vector<double>> removed(configs.size(),
+                                           std::vector<double>(3, 0.0));
+  std::vector<double> base_sum(3, 0.0);
+
+  const auto& names = workloads::workload_names(workloads::Suite::table2);
+  for (const std::string& name : names) {
+    const workloads::Workload w = workloads::make_workload(name, scale);
+    for (std::size_t g = 0; g < geoms.size(); ++g) {
+      const profile::ConflictProfile profile = profile::build_conflict_profile(
+          w.data, geoms[g], bench::paper_hashed_bits);
+      const std::uint64_t base = bench::baseline_misses(w.data, geoms[g]);
+      const double density = bench::misses_per_kuop(base, w.uops);
+      base_sum[g] += density;
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        const std::uint64_t opt =
+            bench::optimized_misses(w.data, geoms[g], profile,
+                                    configs[c].function_class,
+                                    configs[c].max_fan_in);
+        removed[c][g] +=
+            density * bench::percent_removed(base, opt) / 100.0;
+      }
+    }
+    std::fprintf(stderr, "  [fanin-hw] %s done\n", name.c_str());
+  }
+
+  std::printf(
+      "Miss reduction vs reconfigurable-hardware cost (Table-2 data-cache "
+      "averages; switches per Section 5).\n\n");
+  std::printf("%-24s", "configuration");
+  for (const char* s : {"1KB: sw", "rm%", "4KB: sw", "rm%", "16KB: sw", "rm%"})
+    std::printf(" %9s", s);
+  std::printf("\n");
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    std::printf("%-24s", configs[c].label);
+    for (std::size_t g = 0; g < geoms.size(); ++g) {
+      const int m = geoms[g].index_bits();
+      // Fan-in above 2 needs wider second-input selectors; model as one
+      // extra 1-out-of-(n-m+1) selector stage per extra input.
+      int switches = switch_count(configs[c].hw, bench::paper_hashed_bits, m);
+      if (configs[c].function_class == search::FunctionClass::permutation &&
+          configs[c].max_fan_in != 2) {
+        const int extra_inputs =
+            configs[c].max_fan_in == search::SearchOptions::unlimited
+                ? bench::paper_hashed_bits - m - 1
+                : configs[c].max_fan_in - 2;
+        switches += extra_inputs * m * (bench::paper_hashed_bits - m + 1);
+      }
+      std::printf(" %9d %9s", switches,
+                  cell(100.0 * removed[c][g] / base_sum[g], 9).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape to check: permutation 2-in achieves nearly the full XOR "
+      "benefit at the lowest switch count (the paper's conclusion).\n");
+  return 0;
+}

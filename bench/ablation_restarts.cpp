@@ -1,0 +1,64 @@
+// Ablation for Section 3.3's optimality discussion: the hill climber
+// starts at the conventional function and can get stuck in local optima
+// (the paper's bcnt/blit/compress gaps in Table 3). This bench measures
+// how much random restarts recover, on the PowerStone suite at 4 KB.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xoridx;
+  using bench::cell;
+
+  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  const workloads::Scale scale =
+      small ? workloads::Scale::small : workloads::Scale::full;
+  const cache::CacheGeometry geom(4096, 4);
+
+  std::printf(
+      "Hill-climbing restart ablation (PowerStone, 4 KB data cache, "
+      "permutation-based functions; %% misses removed).\n\n");
+  std::printf("%-10s %10s %10s %10s %12s\n", "bench", "restarts=0",
+              "restarts=4", "restarts=16", "evals(r=16)");
+
+  double sum0 = 0, sum4 = 0, sum16 = 0;
+  int count = 0;
+  for (const std::string& name :
+       workloads::workload_names(workloads::Suite::powerstone)) {
+    const workloads::Workload w = workloads::make_workload(name, scale);
+    const profile::ConflictProfile profile = profile::build_conflict_profile(
+        w.data, geom, bench::paper_hashed_bits);
+    const std::uint64_t base = bench::baseline_misses(w.data, geom);
+
+    double results[3] = {0, 0, 0};
+    std::uint64_t evals16 = 0;
+    const int restart_counts[3] = {0, 4, 16};
+    for (int i = 0; i < 3; ++i) {
+      search::OptimizeOptions opts;
+      opts.hashed_bits = bench::paper_hashed_bits;
+      opts.search.function_class = search::FunctionClass::permutation;
+      opts.search.random_restarts = restart_counts[i];
+      const search::OptimizationResult r =
+          search::optimize_index_with_profile(w.data, geom, profile, opts);
+      results[i] = bench::percent_removed(base, r.optimized_misses);
+      if (i == 2) evals16 = r.stats.evaluations;
+    }
+    std::printf("%-10s %10s %10s %10s %12llu\n", name.c_str(),
+                cell(results[0], 10).c_str(), cell(results[1], 10).c_str(),
+                cell(results[2], 10).c_str(),
+                static_cast<unsigned long long>(evals16));
+    sum0 += results[0];
+    sum4 += results[1];
+    sum16 += results[2];
+    ++count;
+  }
+  const double n = count;
+  std::printf("%-10s %10s %10s %10s\n", "average", cell(sum0 / n, 10).c_str(),
+              cell(sum4 / n, 10).c_str(), cell(sum16 / n, 10).c_str());
+  std::printf(
+      "\nShape to check: restarts help only marginally — the fixed "
+      "conventional start is already a good basin, matching the paper's "
+      "choice.\n");
+  return 0;
+}

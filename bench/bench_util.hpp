@@ -1,0 +1,75 @@
+// Shared helpers for the table-regenerating bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "cache/simulate.hpp"
+#include "hash/xor_function.hpp"
+#include "profile/conflict_profile.hpp"
+#include "search/optimizer.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace xoridx::bench {
+
+/// The paper's cache configurations: direct mapped, 4-byte blocks.
+inline const std::vector<cache::CacheGeometry>& paper_geometries() {
+  static const std::vector<cache::CacheGeometry> geoms = {
+      cache::CacheGeometry(1024, 4), cache::CacheGeometry(4096, 4),
+      cache::CacheGeometry(16384, 4)};
+  return geoms;
+}
+
+inline constexpr int paper_hashed_bits = 16;  // the paper's n
+
+/// Baseline (conventional modulo index) misses of a trace.
+inline std::uint64_t baseline_misses(const trace::Trace& t,
+                                     const cache::CacheGeometry& geom) {
+  const hash::XorFunction conv =
+      hash::XorFunction::conventional(paper_hashed_bits, geom.index_bits());
+  return cache::simulate_direct_mapped(t, geom, conv).misses;
+}
+
+/// Misses per thousand uops, the paper's "base" metric.
+inline double misses_per_kuop(std::uint64_t misses, std::uint64_t uops) {
+  return uops == 0 ? 0.0
+                   : 1000.0 * static_cast<double>(misses) /
+                         static_cast<double>(uops);
+}
+
+/// Percentage of misses removed relative to a baseline (negative =
+/// regression), as printed in Tables 2 and 3.
+inline double percent_removed(std::uint64_t base, std::uint64_t opt) {
+  if (base == 0) return 0.0;
+  return 100.0 * (static_cast<double>(base) - static_cast<double>(opt)) /
+         static_cast<double>(base);
+}
+
+/// Run one search class / fan-in on a prebuilt profile and return the
+/// exact simulated misses of the winner.
+inline std::uint64_t optimized_misses(
+    const trace::Trace& t, const cache::CacheGeometry& geom,
+    const profile::ConflictProfile& profile,
+    search::FunctionClass function_class,
+    int max_fan_in = search::SearchOptions::unlimited) {
+  search::OptimizeOptions opts;
+  opts.hashed_bits = paper_hashed_bits;
+  opts.search.function_class = function_class;
+  opts.search.max_fan_in = max_fan_in;
+  const search::OptimizationResult r =
+      search::optimize_index_with_profile(t, geom, profile, opts);
+  return r.optimized_misses;
+}
+
+/// printf helper for one numeric cell.
+inline std::string cell(double v, int width = 6, int precision = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+  return buf;
+}
+
+}  // namespace xoridx::bench

@@ -1,0 +1,114 @@
+// Reproduces the Section 3.2 performance claim: "this algorithm
+// constructs a hash function in 0.5 to 10 seconds on a 2 GHz Pentium 4,
+// depending on the dimensions of the function and on the profiling
+// information". Uses google-benchmark; the profiling pass and each search
+// class are timed separately across the three cache geometries.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "search/bit_select_search.hpp"
+#include "search/permutation_search.hpp"
+#include "search/subspace_search.hpp"
+
+namespace {
+
+using namespace xoridx;
+
+const workloads::Workload& fixture_workload() {
+  static const workloads::Workload w = workloads::make_workload("dijkstra");
+  return w;
+}
+
+const profile::ConflictProfile& fixture_profile(int geometry_index) {
+  static const profile::ConflictProfile profiles[3] = {
+      profile::build_conflict_profile(fixture_workload().data,
+                                      bench::paper_geometries()[0],
+                                      bench::paper_hashed_bits),
+      profile::build_conflict_profile(fixture_workload().data,
+                                      bench::paper_geometries()[1],
+                                      bench::paper_hashed_bits),
+      profile::build_conflict_profile(fixture_workload().data,
+                                      bench::paper_geometries()[2],
+                                      bench::paper_hashed_bits)};
+  return profiles[geometry_index];
+}
+
+void bm_profiling_pass(benchmark::State& state) {
+  const auto& geom =
+      bench::paper_geometries()[static_cast<std::size_t>(state.range(0))];
+  const workloads::Workload& w = fixture_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile::build_conflict_profile(
+        w.data, geom, bench::paper_hashed_bits));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.data.size()));
+}
+BENCHMARK(bm_profiling_pass)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void bm_permutation_search(benchmark::State& state) {
+  const auto gi = static_cast<std::size_t>(state.range(0));
+  const int m = bench::paper_geometries()[gi].index_bits();
+  const profile::ConflictProfile& p = fixture_profile(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::search_permutation(p, m));
+  }
+}
+BENCHMARK(bm_permutation_search)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_permutation_search_2in(benchmark::State& state) {
+  const auto gi = static_cast<std::size_t>(state.range(0));
+  const int m = bench::paper_geometries()[gi].index_bits();
+  const profile::ConflictProfile& p = fixture_profile(state.range(0));
+  search::SearchOptions opts;
+  opts.max_fan_in = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::search_permutation(p, m, opts));
+  }
+}
+BENCHMARK(bm_permutation_search_2in)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_bit_select_search(benchmark::State& state) {
+  const auto gi = static_cast<std::size_t>(state.range(0));
+  const int m = bench::paper_geometries()[gi].index_bits();
+  const profile::ConflictProfile& p = fixture_profile(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::search_bit_select(p, m));
+  }
+}
+BENCHMARK(bm_bit_select_search)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_general_xor_search(benchmark::State& state) {
+  const auto gi = static_cast<std::size_t>(state.range(0));
+  const int m = bench::paper_geometries()[gi].index_bits();
+  const profile::ConflictProfile& p = fixture_profile(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search::search_general_xor(p, m));
+  }
+}
+BENCHMARK(bm_general_xor_search)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_estimator_single_evaluation(benchmark::State& state) {
+  const auto gi = static_cast<std::size_t>(state.range(0));
+  const int m = bench::paper_geometries()[gi].index_bits();
+  const profile::ConflictProfile& p = fixture_profile(state.range(0));
+  const hash::XorFunction conv =
+      hash::XorFunction::conventional(bench::paper_hashed_bits, m);
+  const gf2::Subspace ns = conv.null_space();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.estimate_misses(ns));
+  }
+}
+BENCHMARK(bm_estimator_single_evaluation)->DenseRange(0, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

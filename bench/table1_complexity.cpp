@@ -1,0 +1,61 @@
+// Regenerates Table 1: switches required for reconfigurable indexing with
+// n = 16 hashed bits and 4-byte blocks, plus the Figure-2/Section-5 wire
+// and gate analysis as extra columns.
+//
+// Expected output (paper values): bit-select 256/256/256, optimized
+// bit-select 144/136/112, general XOR 252/261/250, permutation-based
+// 72/70/60 for 1/4/16 KB.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "hash/hardware_cost.hpp"
+
+int main() {
+  using xoridx::hash::hardware_cost;
+  using xoridx::hash::HardwareCost;
+  using xoridx::hash::ReconfigurableKind;
+  using xoridx::hash::switch_count;
+
+  constexpr int n = 16;
+  const int index_bits[] = {8, 10, 12};
+  const char* sizes[] = {"1 KB", "4 KB", "16 KB"};
+
+  std::printf(
+      "Table 1. Number of switches required for reconfigurable indexing "
+      "with n = 16 and 4-byte cache blocks.\n\n");
+  std::printf("%-22s", "cache size");
+  for (const char* s : sizes) std::printf("%10s", s);
+  std::printf("\n%-22s", "set index bits (m)");
+  for (int m : index_bits) std::printf("%10d", m);
+  std::printf("\n");
+
+  const ReconfigurableKind kinds[] = {
+      ReconfigurableKind::bit_select_naive,
+      ReconfigurableKind::bit_select_optimized,
+      ReconfigurableKind::general_xor_2in,
+      ReconfigurableKind::permutation_based_2in,
+  };
+  for (const ReconfigurableKind kind : kinds) {
+    std::printf("%-22s", to_string(kind).c_str());
+    for (const int m : index_bits) std::printf("%10d", switch_count(kind, n, m));
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nExtended Section-5 analysis (config cells == switches; crossbar "
+      "wires horizontal x vertical; 2-input XOR gates):\n\n");
+  std::printf("%-22s %6s %18s %10s\n", "implementation", "m",
+              "wires (h x v)", "XOR gates");
+  for (const ReconfigurableKind kind : kinds) {
+    for (const int m : index_bits) {
+      const HardwareCost c = hardware_cost(kind, n, m);
+      char wires[32];
+      std::snprintf(wires, sizeof(wires), "%d x %d = %lld",
+                    c.wires_horizontal, c.wires_vertical,
+                    static_cast<long long>(c.wire_crossings()));
+      std::printf("%-22s %6d %18s %10d\n", to_string(kind).c_str(), m, wires,
+                  c.xor_gates);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+// xoridx_cli: command-line front end to the library, covering the whole
+// design-time flow on trace files.
+//
+//   xoridx_cli gen <workload> <data|fetch> <trace.bin>
+//       Build a registry workload and save its trace.
+//   xoridx_cli stats <trace.bin>
+//       Print trace statistics.
+//   xoridx_cli profile <trace.bin> <cache_bytes>
+//       Run the Figure-1 profiler and print the top conflict vectors.
+//   xoridx_cli optimize <trace.bin> <cache_bytes> <class> [fan_in] [out.fn]
+//       Construct a function (class: permutation|bitselect|general) and
+//       optionally save it in the text format.
+//   xoridx_cli simulate <trace.bin> <cache_bytes> [function.fn]
+//       Simulate the trace with the conventional index or a saved one.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/simulate.hpp"
+#include "hash/serialize.hpp"
+#include "hash/xor_function.hpp"
+#include "profile/conflict_profile.hpp"
+#include "search/optimizer.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace xoridx;
+
+constexpr int hashed_bits = 16;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xoridx_cli gen <workload> <data|fetch> <trace.bin>\n"
+               "  xoridx_cli stats <trace.bin>\n"
+               "  xoridx_cli profile <trace.bin> <cache_bytes>\n"
+               "  xoridx_cli optimize <trace.bin> <cache_bytes> "
+               "<permutation|bitselect|general> [fan_in] [out.fn]\n"
+               "  xoridx_cli simulate <trace.bin> <cache_bytes> "
+               "[function.fn]\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const workloads::Workload w = workloads::make_workload(argv[2]);
+  const bool fetch = std::strcmp(argv[3], "fetch") == 0;
+  trace::save_trace(argv[4], fetch ? w.fetches : w.data);
+  std::printf("wrote %zu references to %s\n",
+              (fetch ? w.fetches : w.data).size(), argv[4]);
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const trace::Trace t = trace::load_trace(argv[2]);
+  const trace::TraceStats s = t.stats(2);
+  std::printf("references      %llu\n",
+              static_cast<unsigned long long>(s.references));
+  std::printf("reads/writes    %llu / %llu\n",
+              static_cast<unsigned long long>(s.reads),
+              static_cast<unsigned long long>(s.writes));
+  std::printf("fetches         %llu\n",
+              static_cast<unsigned long long>(s.fetches));
+  std::printf("footprint       %llu blocks (4 B)\n",
+              static_cast<unsigned long long>(s.distinct_blocks));
+  std::printf("address range   [0x%llx, 0x%llx]\n",
+              static_cast<unsigned long long>(s.min_addr),
+              static_cast<unsigned long long>(s.max_addr));
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const trace::Trace t = trace::load_trace(argv[2]);
+  const cache::CacheGeometry geom(
+      static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
+  const profile::ConflictProfile p =
+      profile::build_conflict_profile(t, geom, hashed_bits);
+  std::printf("references %llu: %llu compulsory, %llu capacity-filtered, "
+              "%llu profiled\n",
+              static_cast<unsigned long long>(p.references),
+              static_cast<unsigned long long>(p.compulsory_refs),
+              static_cast<unsigned long long>(p.capacity_filtered_refs),
+              static_cast<unsigned long long>(p.profiled_refs));
+  std::printf("%zu distinct conflict vectors, total mass %llu\n\n",
+              p.distinct_vectors(),
+              static_cast<unsigned long long>(p.total_mass()));
+
+  // Top ten vectors by count.
+  std::vector<std::pair<std::uint64_t, gf2::Word>> top;
+  for (gf2::Word v = 1; v < (gf2::Word{1} << hashed_bits); ++v)
+    if (p.misses(v) != 0) top.emplace_back(p.misses(v), v);
+  std::sort(top.rbegin(), top.rend());
+  std::printf("top conflict vectors (v = x XOR y, truncated to %d bits):\n",
+              hashed_bits);
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, top.size()); ++i)
+    std::printf("  %s  misses(v) = %llu\n",
+                gf2::to_bit_string(top[i].second, hashed_bits).c_str(),
+                static_cast<unsigned long long>(top[i].first));
+  return 0;
+}
+
+int cmd_optimize(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const trace::Trace t = trace::load_trace(argv[2]);
+  const cache::CacheGeometry geom(
+      static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
+  search::OptimizeOptions options;
+  options.revert_if_worse = true;
+  const std::string klass = argv[4];
+  options.search.function_class =
+      klass == "bitselect" ? search::FunctionClass::bit_select
+      : klass == "general" ? search::FunctionClass::general_xor
+                           : search::FunctionClass::permutation;
+  if (argc > 5 && std::atoi(argv[5]) > 0)
+    options.search.max_fan_in = std::atoi(argv[5]);
+
+  const search::OptimizationResult r =
+      search::optimize_index(t, geom, options);
+  std::printf("baseline  %llu misses\noptimized %llu misses (%.1f%% removed)%s\n",
+              static_cast<unsigned long long>(r.baseline_misses),
+              static_cast<unsigned long long>(r.optimized_misses),
+              r.reduction_percent(),
+              r.reverted ? " [reverted]" : "");
+  std::printf("%s", r.function->describe().c_str());
+  if (argc > 6) {
+    std::ofstream os(argv[6]);
+    hash::write_function(os, *r.function);
+    std::printf("saved to %s\n", argv[6]);
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const trace::Trace t = trace::load_trace(argv[2]);
+  const cache::CacheGeometry geom(
+      static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
+  std::unique_ptr<hash::IndexFunction> f;
+  if (argc > 4) {
+    std::ifstream is(argv[4]);
+    if (!is) {
+      std::fprintf(stderr, "cannot open %s\n", argv[4]);
+      return 1;
+    }
+    f = hash::read_function(is);
+  } else {
+    f = hash::XorFunction::conventional(hashed_bits, geom.index_bits())
+            .clone();
+  }
+  const cache::MissBreakdown b = cache::classify_misses(t, geom, *f);
+  std::printf("accesses  %llu\nmisses    %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(b.accesses),
+              static_cast<unsigned long long>(b.misses),
+              100.0 * static_cast<double>(b.misses) /
+                  static_cast<double>(b.accesses));
+  std::printf("  compulsory %llu, capacity %llu, conflict %llu\n",
+              static_cast<unsigned long long>(b.compulsory),
+              static_cast<unsigned long long>(b.capacity),
+              static_cast<unsigned long long>(b.conflict));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "gen") return cmd_gen(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "profile") return cmd_profile(argc, argv);
+    if (command == "optimize") return cmd_optimize(argc, argv);
+    if (command == "simulate") return cmd_simulate(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,37 @@
+#include "cache/direct_mapped.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xoridx::cache {
+
+DirectMappedCache::DirectMappedCache(const CacheGeometry& geometry,
+                                     const hash::IndexFunction& index_fn)
+    : geometry_(geometry),
+      index_fn_(index_fn),
+      tags_(geometry.num_sets(), 0),
+      valid_(geometry.num_sets(), false) {
+  if (geometry.associativity != 1)
+    throw std::invalid_argument("DirectMappedCache requires associativity 1");
+  if (index_fn.index_bits() != geometry.index_bits())
+    throw std::invalid_argument(
+        "index function width does not match cache geometry");
+}
+
+bool DirectMappedCache::access(std::uint64_t block_addr) {
+  const auto set = static_cast<std::size_t>(index_fn_.index(block_addr));
+  assert(set < tags_.size());
+  const std::uint64_t tag = index_fn_.tag(block_addr);
+  ++stats_.accesses;
+  if (valid_[set] && tags_[set] == tag) return true;
+  ++stats_.misses;
+  valid_[set] = true;
+  tags_[set] = tag;
+  return false;
+}
+
+void DirectMappedCache::flush() {
+  valid_.assign(valid_.size(), false);
+}
+
+}  // namespace xoridx::cache

@@ -1,0 +1,43 @@
+// Direct-mapped cache with a pluggable set-index function.
+//
+// This is the hardware the paper optimizes: a direct-mapped RAM whose set
+// index comes from a (possibly reconfigurable) hash of the block address.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::cache {
+
+class DirectMappedCache {
+ public:
+  /// `index_fn` must produce indices of exactly geometry.index_bits() bits
+  /// and is borrowed for the cache's lifetime.
+  DirectMappedCache(const CacheGeometry& geometry,
+                    const hash::IndexFunction& index_fn);
+
+  /// Access one block address (byte address >> offset_bits). Returns true
+  /// on hit and updates the counters.
+  bool access(std::uint64_t block_addr);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+
+  /// Invalidate all lines (reconfiguration flush, Section 5: changing the
+  /// index function invalidates the mapping, so lines must be flushed).
+  void flush();
+
+ private:
+  CacheGeometry geometry_;
+  const hash::IndexFunction& index_fn_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<bool> valid_;
+  CacheStats stats_;
+};
+
+}  // namespace xoridx::cache

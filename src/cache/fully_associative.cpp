@@ -1,0 +1,34 @@
+#include "cache/fully_associative.hpp"
+
+#include <stdexcept>
+
+namespace xoridx::cache {
+
+FullyAssociativeCache::FullyAssociativeCache(std::uint32_t capacity_blocks)
+    : capacity_(capacity_blocks) {
+  if (capacity_blocks == 0)
+    throw std::invalid_argument("capacity must be nonzero");
+}
+
+bool FullyAssociativeCache::access(std::uint64_t block_addr) {
+  ++stats_.accesses;
+  if (const auto it = where_.find(block_addr); it != where_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  lru_.push_front(block_addr);
+  where_[block_addr] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    where_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void FullyAssociativeCache::flush() {
+  lru_.clear();
+  where_.clear();
+}
+
+}  // namespace xoridx::cache

@@ -1,0 +1,38 @@
+// Fully-associative LRU cache.
+//
+// Used for the `FA` column of Table 3 and as the capacity-miss oracle of
+// the 3C classification: an access that misses in a fully-associative LRU
+// cache of equal capacity is a capacity (or compulsory) miss, not a
+// conflict miss.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cache/geometry.hpp"
+
+namespace xoridx::cache {
+
+class FullyAssociativeCache {
+ public:
+  /// Capacity in blocks.
+  explicit FullyAssociativeCache(std::uint32_t capacity_blocks);
+
+  explicit FullyAssociativeCache(const CacheGeometry& geometry)
+      : FullyAssociativeCache(geometry.num_blocks()) {}
+
+  /// Access one block address; true on hit. LRU replacement.
+  bool access(std::uint64_t block_addr);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void flush();
+
+ private:
+  std::uint32_t capacity_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where_;
+  CacheStats stats_;
+};
+
+}  // namespace xoridx::cache

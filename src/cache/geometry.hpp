@@ -1,0 +1,74 @@
+// Cache geometry: size, block size, associativity.
+//
+// The paper's configurations are direct-mapped caches of 1/4/16 KB with
+// 4-byte blocks and n = 16 hashed address bits.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace xoridx::cache {
+
+struct CacheGeometry {
+  std::uint32_t size_bytes = 4096;
+  std::uint32_t block_bytes = 4;
+  std::uint32_t associativity = 1;
+
+  constexpr CacheGeometry() = default;
+  constexpr CacheGeometry(std::uint32_t size, std::uint32_t block,
+                          std::uint32_t assoc = 1)
+      : size_bytes(size), block_bytes(block), associativity(assoc) {
+    if (size == 0 || block == 0 || assoc == 0)
+      throw std::invalid_argument("cache geometry fields must be nonzero");
+    if (!std::has_single_bit(size) || !std::has_single_bit(block) ||
+        !std::has_single_bit(assoc))
+      throw std::invalid_argument("cache geometry fields must be powers of 2");
+    if (block * assoc > size)
+      throw std::invalid_argument("cache smaller than one set");
+  }
+
+  /// Total number of cache blocks (the capacity filter of Figure 1 uses
+  /// this as "cache size" in blocks).
+  [[nodiscard]] constexpr std::uint32_t num_blocks() const {
+    return size_bytes / block_bytes;
+  }
+
+  [[nodiscard]] constexpr std::uint32_t num_sets() const {
+    return num_blocks() / associativity;
+  }
+
+  /// m: number of set-index bits.
+  [[nodiscard]] constexpr int index_bits() const {
+    return std::countr_zero(num_sets());
+  }
+
+  /// log2(block size): shift from byte address to block address.
+  [[nodiscard]] constexpr int offset_bits() const {
+    return std::countr_zero(block_bytes);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(size_bytes / 1024) + " KB/" +
+           std::to_string(block_bytes) + "B/" + std::to_string(associativity) +
+           "-way";
+  }
+
+  friend constexpr bool operator==(const CacheGeometry&,
+                                   const CacheGeometry&) = default;
+};
+
+/// Hit/miss counters shared by all cache models.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  [[nodiscard]] std::uint64_t hits() const { return accesses - misses; }
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) /
+                                     static_cast<double>(accesses);
+  }
+};
+
+}  // namespace xoridx::cache

@@ -1,0 +1,49 @@
+#include "cache/set_associative.hpp"
+
+#include <stdexcept>
+
+namespace xoridx::cache {
+
+SetAssociativeCache::SetAssociativeCache(const CacheGeometry& geometry,
+                                         const hash::IndexFunction& index_fn)
+    : geometry_(geometry),
+      index_fn_(index_fn),
+      lines_(geometry.num_sets() * geometry.associativity) {
+  if (index_fn.index_bits() != geometry.index_bits())
+    throw std::invalid_argument(
+        "index function width does not match cache geometry");
+}
+
+bool SetAssociativeCache::access(std::uint64_t block_addr) {
+  const auto set = static_cast<std::size_t>(index_fn_.index(block_addr));
+  const std::uint64_t tag = index_fn_.tag(block_addr);
+  const std::size_t ways = geometry_.associativity;
+  Line* base = &lines_[set * ways];
+  ++stats_.accesses;
+  ++clock_;
+
+  Line* victim = base;
+  for (std::size_t w = 0; w < ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_use = clock_;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return false;
+}
+
+void SetAssociativeCache::flush() {
+  for (Line& line : lines_) line.valid = false;
+}
+
+}  // namespace xoridx::cache

@@ -1,0 +1,39 @@
+// Set-associative cache with true-LRU replacement and a pluggable index
+// function. Associativity 1 reduces to the direct-mapped model; this class
+// exists for baseline comparisons (associativity vs hashing trade-offs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::cache {
+
+class SetAssociativeCache {
+ public:
+  SetAssociativeCache(const CacheGeometry& geometry,
+                      const hash::IndexFunction& index_fn);
+
+  /// Access one block address; true on hit.
+  bool access(std::uint64_t block_addr);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void flush();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;  // global access counter for true LRU
+    bool valid = false;
+  };
+
+  CacheGeometry geometry_;
+  const hash::IndexFunction& index_fn_;
+  std::vector<Line> lines_;  // num_sets x associativity, set-major
+  std::uint64_t clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace xoridx::cache

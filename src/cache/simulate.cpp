@@ -1,0 +1,61 @@
+#include "cache/simulate.hpp"
+
+#include <unordered_map>
+
+#include "cache/direct_mapped.hpp"
+#include "cache/fully_associative.hpp"
+
+namespace xoridx::cache {
+
+CacheStats simulate_direct_mapped(const trace::Trace& t,
+                                  const CacheGeometry& geometry,
+                                  const hash::IndexFunction& index_fn) {
+  DirectMappedCache cache(geometry, index_fn);
+  const int shift = geometry.offset_bits();
+  for (const trace::Access& a : t) cache.access(a.addr >> shift);
+  return cache.stats();
+}
+
+CacheStats simulate_direct_mapped_blocks(std::span<const std::uint64_t> blocks,
+                                         const CacheGeometry& geometry,
+                                         const hash::IndexFunction& index_fn) {
+  DirectMappedCache cache(geometry, index_fn);
+  for (std::uint64_t b : blocks) cache.access(b);
+  return cache.stats();
+}
+
+CacheStats simulate_fully_associative(const trace::Trace& t,
+                                      const CacheGeometry& geometry) {
+  FullyAssociativeCache cache(geometry.num_blocks());
+  const int shift = geometry.offset_bits();
+  for (const trace::Access& a : t) cache.access(a.addr >> shift);
+  return cache.stats();
+}
+
+MissBreakdown classify_misses(const trace::Trace& t,
+                              const CacheGeometry& geometry,
+                              const hash::IndexFunction& index_fn) {
+  DirectMappedCache dm(geometry, index_fn);
+  FullyAssociativeCache fa(geometry.num_blocks());
+  std::unordered_map<std::uint64_t, bool> seen;
+  MissBreakdown out;
+  const int shift = geometry.offset_bits();
+  for (const trace::Access& a : t) {
+    const std::uint64_t block = a.addr >> shift;
+    ++out.accesses;
+    const bool dm_hit = dm.access(block);
+    const bool fa_hit = fa.access(block);
+    const bool first_touch = seen.emplace(block, true).second;
+    if (dm_hit) continue;
+    ++out.misses;
+    if (first_touch)
+      ++out.compulsory;
+    else if (!fa_hit)
+      ++out.capacity;
+    else
+      ++out.conflict;
+  }
+  return out;
+}
+
+}  // namespace xoridx::cache

@@ -1,0 +1,45 @@
+// Trace-driven simulation drivers and 3C miss classification.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cache/geometry.hpp"
+#include "hash/index_function.hpp"
+#include "trace/trace.hpp"
+
+namespace xoridx::cache {
+
+/// Run a trace through a direct-mapped cache using `index_fn` and return
+/// the miss count. Convenience wrapper used everywhere in the evaluation.
+[[nodiscard]] CacheStats simulate_direct_mapped(
+    const trace::Trace& t, const CacheGeometry& geometry,
+    const hash::IndexFunction& index_fn);
+
+/// Same, over a pre-extracted block-address sequence (fast path for the
+/// exhaustive bit-selecting search).
+[[nodiscard]] CacheStats simulate_direct_mapped_blocks(
+    std::span<const std::uint64_t> blocks, const CacheGeometry& geometry,
+    const hash::IndexFunction& index_fn);
+
+/// Fully-associative LRU miss count at equal capacity (Table 3, `FA`).
+[[nodiscard]] CacheStats simulate_fully_associative(
+    const trace::Trace& t, const CacheGeometry& geometry);
+
+/// Three-C miss breakdown of a direct-mapped cache run (Hill's model, as
+/// used implicitly by the paper's profiling filters): a miss is compulsory
+/// on first touch, capacity if a fully-associative LRU cache of equal size
+/// also misses, and conflict otherwise.
+struct MissBreakdown {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t compulsory = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t conflict = 0;
+};
+
+[[nodiscard]] MissBreakdown classify_misses(const trace::Trace& t,
+                                            const CacheGeometry& geometry,
+                                            const hash::IndexFunction& index_fn);
+
+}  // namespace xoridx::cache

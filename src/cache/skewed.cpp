@@ -1,0 +1,50 @@
+#include "cache/skewed.hpp"
+
+#include <stdexcept>
+
+namespace xoridx::cache {
+
+SkewedAssociativeCache::SkewedAssociativeCache(const CacheGeometry& geometry,
+                                               const hash::IndexFunction& f0,
+                                               const hash::IndexFunction& f1)
+    : f0_(f0),
+      f1_(f1),
+      bank0_(geometry.num_blocks() / 2),
+      bank1_(geometry.num_blocks() / 2) {
+  const int bank_bits = geometry.index_bits() - 1;
+  if (geometry.num_blocks() < 2)
+    throw std::invalid_argument("skewed cache needs at least 2 blocks");
+  if (f0.index_bits() != bank_bits || f1.index_bits() != bank_bits)
+    throw std::invalid_argument("bank index width must be index_bits - 1");
+}
+
+bool SkewedAssociativeCache::access(std::uint64_t block_addr) {
+  ++stats_.accesses;
+  ++clock_;
+  Line& l0 = bank0_[static_cast<std::size_t>(f0_.index(block_addr))];
+  Line& l1 = bank1_[static_cast<std::size_t>(f1_.index(block_addr))];
+  if (l0.valid && l0.block == block_addr) {
+    l0.last_use = clock_;
+    return true;
+  }
+  if (l1.valid && l1.block == block_addr) {
+    l1.last_use = clock_;
+    return true;
+  }
+  ++stats_.misses;
+  Line& victim = !l0.valid                ? l0
+                 : !l1.valid              ? l1
+                 : l0.last_use <= l1.last_use ? l0
+                                              : l1;
+  victim.valid = true;
+  victim.block = block_addr;
+  victim.last_use = clock_;
+  return false;
+}
+
+void SkewedAssociativeCache::flush() {
+  for (Line& line : bank0_) line.valid = false;
+  for (Line& line : bank1_) line.valid = false;
+}
+
+}  // namespace xoridx::cache

@@ -1,0 +1,46 @@
+// Two-way skewed-associative cache (Seznec & Bodin, related work in
+// Section 2): each bank uses a *different* index function, so blocks that
+// conflict in one bank usually do not conflict in the other. Included as a
+// hardware baseline against application-specific single-function hashing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::cache {
+
+class SkewedAssociativeCache {
+ public:
+  /// Two banks of geometry.num_blocks()/2 lines each; `f0`/`f1` index the
+  /// banks and must produce geometry.index_bits() - 1 bits.
+  SkewedAssociativeCache(const CacheGeometry& geometry,
+                         const hash::IndexFunction& f0,
+                         const hash::IndexFunction& f1);
+
+  /// Access one block address; true on hit. Replacement: the least
+  /// recently used of the two candidate lines.
+  bool access(std::uint64_t block_addr);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void flush();
+
+ private:
+  struct Line {
+    std::uint64_t block = 0;  // full block address: banks disagree on tags
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  const hash::IndexFunction& f0_;
+  const hash::IndexFunction& f1_;
+  std::vector<Line> bank0_;
+  std::vector<Line> bank1_;
+  std::uint64_t clock_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace xoridx::cache

@@ -1,0 +1,68 @@
+#include "cache/victim.hpp"
+
+#include <stdexcept>
+
+namespace xoridx::cache {
+
+VictimCache::VictimCache(const CacheGeometry& geometry,
+                         const hash::IndexFunction& index_fn,
+                         std::uint32_t victim_lines)
+    : geometry_(geometry),
+      index_fn_(index_fn),
+      blocks_(geometry.num_sets(), 0),
+      valid_(geometry.num_sets(), false),
+      victim_capacity_(victim_lines) {
+  if (geometry.associativity != 1)
+    throw std::invalid_argument("VictimCache main array is direct mapped");
+  if (index_fn.index_bits() != geometry.index_bits())
+    throw std::invalid_argument(
+        "index function width does not match cache geometry");
+  if (victim_lines == 0)
+    throw std::invalid_argument("victim buffer needs at least one line");
+}
+
+bool VictimCache::access(std::uint64_t block_addr) {
+  ++stats_.accesses;
+  const auto set = static_cast<std::size_t>(index_fn_.index(block_addr));
+  if (valid_[set] && blocks_[set] == block_addr) return true;
+
+  if (take_victim(block_addr)) {
+    // Swap: the displaced main-cache line moves into the victim buffer.
+    ++victim_hits_;
+    if (valid_[set]) insert_victim(blocks_[set]);
+    valid_[set] = true;
+    blocks_[set] = block_addr;
+    return true;
+  }
+
+  ++stats_.misses;
+  if (valid_[set]) insert_victim(blocks_[set]);
+  valid_[set] = true;
+  blocks_[set] = block_addr;
+  return false;
+}
+
+void VictimCache::insert_victim(std::uint64_t block_addr) {
+  victim_lru_.push_front(block_addr);
+  victim_index_[block_addr] = victim_lru_.begin();
+  if (victim_lru_.size() > victim_capacity_) {
+    victim_index_.erase(victim_lru_.back());
+    victim_lru_.pop_back();
+  }
+}
+
+bool VictimCache::take_victim(std::uint64_t block_addr) {
+  const auto it = victim_index_.find(block_addr);
+  if (it == victim_index_.end()) return false;
+  victim_lru_.erase(it->second);
+  victim_index_.erase(it);
+  return true;
+}
+
+void VictimCache::flush() {
+  valid_.assign(valid_.size(), false);
+  victim_lru_.clear();
+  victim_index_.clear();
+}
+
+}  // namespace xoridx::cache

@@ -1,0 +1,51 @@
+// Direct-mapped cache with a small fully-associative victim buffer
+// (Jouppi, ISCA 1990) — the classic *hardware* answer to conflict misses
+// that application-specific XOR-indexing competes against. Evicted lines
+// go to the victim buffer; a main-cache miss that hits the buffer swaps
+// the lines back at reduced (but in this miss-count model, free) cost.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::cache {
+
+class VictimCache {
+ public:
+  /// Direct-mapped main cache of `geometry` plus `victim_lines` fully
+  /// associative LRU entries.
+  VictimCache(const CacheGeometry& geometry,
+              const hash::IndexFunction& index_fn, std::uint32_t victim_lines);
+
+  /// Access one block address; true when it hits the main cache *or* the
+  /// victim buffer (both count as hits in this model).
+  bool access(std::uint64_t block_addr);
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t victim_hits() const noexcept {
+    return victim_hits_;
+  }
+  void flush();
+
+ private:
+  void insert_victim(std::uint64_t block_addr);
+  bool take_victim(std::uint64_t block_addr);
+
+  CacheGeometry geometry_;
+  const hash::IndexFunction& index_fn_;
+  std::vector<std::uint64_t> blocks_;  // main cache stores block addresses
+  std::vector<bool> valid_;
+  std::uint32_t victim_capacity_;
+  std::list<std::uint64_t> victim_lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      victim_index_;
+  std::uint64_t victim_hits_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace xoridx::cache

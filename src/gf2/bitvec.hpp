@@ -1,0 +1,62 @@
+// Bit-vector primitives over GF(2).
+//
+// A vector of up to 64 bits is stored in a single machine word. Bit i of
+// the word is coordinate i of the vector; coordinate 0 is the least
+// significant address bit throughout the library, matching the paper's
+// convention a_{n-1} a_{n-2} ... a_0.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace xoridx::gf2 {
+
+/// A GF(2) row vector of up to 64 coordinates.
+using Word = std::uint64_t;
+
+/// Maximum ambient dimension supported by the single-word representation.
+inline constexpr int max_bits = 64;
+
+/// Mask with the low `nbits` bits set. `nbits` must be in [0, 64].
+[[nodiscard]] constexpr Word mask_of(int nbits) noexcept {
+  assert(nbits >= 0 && nbits <= max_bits);
+  return nbits >= max_bits ? ~Word{0} : (Word{1} << nbits) - 1;
+}
+
+/// Parity (sum over GF(2)) of all coordinates of `x`.
+[[nodiscard]] constexpr bool parity(Word x) noexcept {
+  return (std::popcount(x) & 1) != 0;
+}
+
+/// Number of set coordinates.
+[[nodiscard]] constexpr int weight(Word x) noexcept { return std::popcount(x); }
+
+/// Position of the most significant set bit; `x` must be nonzero.
+[[nodiscard]] constexpr int leading_bit(Word x) noexcept {
+  assert(x != 0);
+  return max_bits - 1 - std::countl_zero(x);
+}
+
+/// Unit vector e_i.
+[[nodiscard]] constexpr Word unit(int i) noexcept {
+  assert(i >= 0 && i < max_bits);
+  return Word{1} << i;
+}
+
+/// Bit i of x as bool.
+[[nodiscard]] constexpr bool get_bit(Word x, int i) noexcept {
+  assert(i >= 0 && i < max_bits);
+  return ((x >> i) & 1) != 0;
+}
+
+/// Render the low `nbits` of `x` MSB-first, e.g. "0101".
+[[nodiscard]] inline std::string to_bit_string(Word x, int nbits) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(nbits));
+  for (int i = nbits - 1; i >= 0; --i) s.push_back(get_bit(x, i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace xoridx::gf2

@@ -1,0 +1,59 @@
+#include "gf2/counting.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xoridx::gf2 {
+
+long double count_full_rank_matrices(int n, int m) {
+  assert(0 <= m && m <= n);
+  long double total = 1.0L;
+  const long double two_n = std::exp2l(static_cast<long double>(n));
+  for (int i = 0; i < m; ++i)
+    total *= two_n - std::exp2l(static_cast<long double>(i));
+  return total;
+}
+
+long double count_null_spaces(int n, int m) {
+  assert(0 <= m && m <= n);
+  long double total = 1.0L;
+  for (int i = 1; i <= m; ++i) {
+    const long double num =
+        std::exp2l(static_cast<long double>(n - i + 1)) - 1.0L;
+    const long double den = std::exp2l(static_cast<long double>(i)) - 1.0L;
+    total *= num / den;
+  }
+  return total;
+}
+
+std::uint64_t gaussian_binomial_exact(int n, int m) {
+  assert(0 <= m && m <= n);
+  // Evaluate via the q-Pascal recurrence [n,m] = [n-1,m-1] + 2^m [n-1,m]
+  // to stay in integers.
+  if (m == 0 || m == n) return 1;
+  std::uint64_t prev_row[65] = {0};
+  std::uint64_t row[65] = {0};
+  prev_row[0] = 1;
+  for (int nn = 1; nn <= n; ++nn) {
+    row[0] = 1;
+    for (int mm = 1; mm <= nn && mm <= m; ++mm) {
+      const std::uint64_t carry = (mm == nn) ? 0 : prev_row[mm];
+      row[mm] = prev_row[mm - 1] + (std::uint64_t{1} << mm) * carry;
+    }
+    for (int mm = 0; mm <= n; ++mm) prev_row[mm] = row[mm];
+  }
+  return prev_row[m];
+}
+
+std::uint64_t binomial_exact(int n, int m) {
+  assert(0 <= m && m <= n);
+  if (m > n - m) m = n - m;
+  std::uint64_t result = 1;
+  for (int i = 1; i <= m; ++i) {
+    result = result * static_cast<std::uint64_t>(n - m + i) /
+             static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+}  // namespace xoridx::gf2

@@ -1,0 +1,30 @@
+// Design-space counting (paper Section 2, Eq. 3).
+//
+// The number of distinct n-to-m XOR hash functions (full-column-rank
+// matrices) vastly exceeds the number of distinct null spaces; the paper
+// quotes 3.4e38 matrices but only 6.3e19 null spaces for n=16, m=8, which
+// motivates searching the null-space representation.
+#pragma once
+
+#include <cstdint>
+
+namespace xoridx::gf2 {
+
+/// Number of n x m GF(2) matrices of full column rank m:
+/// prod_{i=0}^{m-1} (2^n - 2^i). Returned as long double because the
+/// values (e.g. 3.4e38 for n=16, m=8) exceed 64-bit integers.
+[[nodiscard]] long double count_full_rank_matrices(int n, int m);
+
+/// Number of distinct null spaces of n-to-m hash functions: the Gaussian
+/// binomial coefficient [n choose m]_2 = prod_{i=1}^{m} (2^{n-i+1} - 1) /
+/// (2^i - 1), Eq. 3 of the paper.
+[[nodiscard]] long double count_null_spaces(int n, int m);
+
+/// Exact Gaussian binomial for small arguments (result must fit 64 bits).
+[[nodiscard]] std::uint64_t gaussian_binomial_exact(int n, int m);
+
+/// Number of m-element subsets of n bits: the bit-selecting design space
+/// (Section 2, "combinations of m out of n"). Exact; result must fit.
+[[nodiscard]] std::uint64_t binomial_exact(int n, int m);
+
+}  // namespace xoridx::gf2

@@ -1,0 +1,189 @@
+#include "gf2/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xoridx::gf2 {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols), row_bits_(static_cast<std::size_t>(rows), 0) {
+  assert(rows >= 0 && cols >= 0 && cols <= max_bits && rows <= max_bits);
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.set_row(i, unit(i));
+  return m;
+}
+
+Matrix Matrix::random(int rows, int cols, std::mt19937_64& rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) m.set_row(r, rng() & mask_of(cols));
+  return m;
+}
+
+Matrix Matrix::random_full_rank(int rows, int cols, std::mt19937_64& rng) {
+  assert(rows >= cols);
+  for (;;) {
+    Matrix m = random(rows, cols, rng);
+    if (m.rank() == cols) return m;
+  }
+}
+
+bool Matrix::get(int r, int c) const {
+  assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return get_bit(row_bits_[static_cast<std::size_t>(r)], c);
+}
+
+void Matrix::set(int r, int c, bool value) {
+  assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  Word& w = row_bits_[static_cast<std::size_t>(r)];
+  if (value)
+    w |= unit(c);
+  else
+    w &= ~unit(c);
+}
+
+Word Matrix::row(int r) const {
+  assert(r >= 0 && r < rows_);
+  return row_bits_[static_cast<std::size_t>(r)];
+}
+
+void Matrix::set_row(int r, Word bits) {
+  assert(r >= 0 && r < rows_);
+  assert((bits & ~mask_of(cols_)) == 0);
+  row_bits_[static_cast<std::size_t>(r)] = bits;
+}
+
+Word Matrix::column(int c) const {
+  assert(c >= 0 && c < cols_);
+  Word col = 0;
+  for (int r = 0; r < rows_; ++r)
+    if (get(r, c)) col |= unit(r);
+  return col;
+}
+
+Word Matrix::apply(Word x) const {
+  Word s = 0;
+  Word bits = x & mask_of(rows_);
+  while (bits != 0) {
+    const int r = std::countr_zero(bits);
+    s ^= row_bits_[static_cast<std::size_t>(r)];
+    bits &= bits - 1;
+  }
+  return s;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c)
+      if (get(r, c)) t.set(c, r, true);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (int r = 0; r < rows_; ++r) out.set_row(r, rhs.apply(row(r)));
+  return out;
+}
+
+int Matrix::rank() const {
+  std::vector<Word> rows = row_bits_;
+  int rank = 0;
+  for (int c = cols_ - 1; c >= 0 && rank < rows_; --c) {
+    // Find a pivot row with bit c set, among not-yet-used rows.
+    int pivot = -1;
+    for (int r = rank; r < rows_; ++r) {
+      if (get_bit(rows[static_cast<std::size_t>(r)], c)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[static_cast<std::size_t>(rank)],
+              rows[static_cast<std::size_t>(pivot)]);
+    for (int r = 0; r < rows_; ++r) {
+      if (r != rank && get_bit(rows[static_cast<std::size_t>(r)], c))
+        rows[static_cast<std::size_t>(r)] ^=
+            rows[static_cast<std::size_t>(rank)];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::optional<Matrix> Matrix::inverse() const {
+  if (rows_ != cols_) return std::nullopt;
+  const int n = rows_;
+  // Gauss-Jordan on [this | I].
+  std::vector<Word> left = row_bits_;
+  std::vector<Word> right(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) right[static_cast<std::size_t>(i)] = unit(i);
+
+  for (int c = 0; c < n; ++c) {
+    int pivot = -1;
+    for (int r = c; r < n; ++r) {
+      if (get_bit(left[static_cast<std::size_t>(r)], c)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return std::nullopt;  // singular
+    std::swap(left[static_cast<std::size_t>(c)],
+              left[static_cast<std::size_t>(pivot)]);
+    std::swap(right[static_cast<std::size_t>(c)],
+              right[static_cast<std::size_t>(pivot)]);
+    for (int r = 0; r < n; ++r) {
+      if (r != c && get_bit(left[static_cast<std::size_t>(r)], c)) {
+        left[static_cast<std::size_t>(r)] ^= left[static_cast<std::size_t>(c)];
+        right[static_cast<std::size_t>(r)] ^=
+            right[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  Matrix inv(n, n);
+  for (int r = 0; r < n; ++r)
+    inv.set_row(r, right[static_cast<std::size_t>(r)]);
+  return inv;
+}
+
+std::optional<Word> Matrix::solve(Word rhs) const {
+  const std::optional<Matrix> inv = inverse();
+  if (!inv.has_value()) return std::nullopt;
+  return inv->apply(rhs);
+}
+
+int Matrix::column_weight(int c) const {
+  assert(c >= 0 && c < cols_);
+  int w = 0;
+  for (int r = 0; r < rows_; ++r) w += get(r, c) ? 1 : 0;
+  return w;
+}
+
+int Matrix::max_column_weight() const {
+  int best = 0;
+  for (int c = 0; c < cols_; ++c) best = std::max(best, column_weight(c));
+  return best;
+}
+
+Matrix Matrix::vstack(const Matrix& top, const Matrix& bottom) {
+  assert(top.cols_ == bottom.cols_);
+  Matrix out(top.rows_ + bottom.rows_, top.cols_);
+  for (int r = 0; r < top.rows_; ++r) out.set_row(r, top.row(r));
+  for (int r = 0; r < bottom.rows_; ++r)
+    out.set_row(top.rows_ + r, bottom.row(r));
+  return out;
+}
+
+std::string Matrix::to_string() const {
+  std::string s;
+  for (int r = rows_ - 1; r >= 0; --r) {
+    s += to_bit_string(row(r), cols_);
+    if (r > 0) s.push_back('\n');
+  }
+  return s;
+}
+
+}  // namespace xoridx::gf2

@@ -1,0 +1,89 @@
+// Binary matrices over GF(2).
+//
+// A hash function mapping n address bits to m set-index bits is an n x m
+// matrix H (paper Section 2). Row r holds the m output coefficients of
+// address bit a_r: bit h_{r,c} is 1 when address bit a_r feeds the XOR
+// computing set-index bit c. The set index of a block address `a` is the
+// vector-matrix product s = a H over GF(2).
+#pragma once
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+
+namespace xoridx::gf2 {
+
+/// Dense GF(2) matrix with up to 64 columns; rows stored as bit words.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(int rows, int cols);
+
+  /// n x n identity.
+  [[nodiscard]] static Matrix identity(int n);
+
+  /// Uniformly random matrix (each entry an independent fair bit).
+  [[nodiscard]] static Matrix random(int rows, int cols, std::mt19937_64& rng);
+
+  /// Uniformly random matrix of full column rank (rank == cols).
+  [[nodiscard]] static Matrix random_full_rank(int rows, int cols,
+                                               std::mt19937_64& rng);
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  [[nodiscard]] bool get(int r, int c) const;
+  void set(int r, int c, bool value);
+
+  /// Row r as a bit word (bit c = h_{r,c}).
+  [[nodiscard]] Word row(int r) const;
+  void set_row(int r, Word bits);
+
+  /// Column c as a bit word (bit r = h_{r,c}).
+  [[nodiscard]] Word column(int c) const;
+
+  /// s = x * this, where x is a 1 x rows() vector: XOR of rows selected
+  /// by the set bits of x. Bits of x at or above rows() are ignored.
+  [[nodiscard]] Word apply(Word x) const;
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  bool operator==(const Matrix&) const = default;
+
+  /// Rank over GF(2).
+  [[nodiscard]] int rank() const;
+
+  /// Inverse of a square invertible matrix (Gauss-Jordan). Returns an
+  /// empty optional when singular. Used to convert between equivalent
+  /// matrices of one null space (output changes of basis).
+  [[nodiscard]] std::optional<Matrix> inverse() const;
+
+  /// Solve x * this == rhs for a square invertible matrix; empty when
+  /// singular. (Row-vector convention throughout the library.)
+  [[nodiscard]] std::optional<Word> solve(Word rhs) const;
+
+  /// Number of ones in column c: the fan-in of the XOR gate computing
+  /// set-index bit c (paper Sections 5 and 6: "inputs per XOR").
+  [[nodiscard]] int column_weight(int c) const;
+
+  /// Maximum column weight over all columns.
+  [[nodiscard]] int max_column_weight() const;
+
+  /// Vertically stack `top` above `bottom`; column counts must match.
+  [[nodiscard]] static Matrix vstack(const Matrix& top, const Matrix& bottom);
+
+  /// Multi-line "01" rendering, row 0 last (matching a_{n-1}..a_0 order).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Word> row_bits_;
+};
+
+}  // namespace xoridx::gf2

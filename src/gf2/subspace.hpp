@@ -1,0 +1,117 @@
+// Linear subspaces of GF(2)^n in canonical form.
+//
+// The design-space search of the paper (Section 3.2) operates on *null
+// spaces* of hash functions rather than on matrices: two matrices with the
+// same null space incur exactly the same conflict misses (Section 2,
+// Eq. 2), so canonicalizing by null space removes redundant evaluations.
+//
+// A Subspace stores a reduced-row-echelon basis: every basis vector has a
+// distinct leading (most significant) bit, that bit is zero in all other
+// basis vectors, and vectors are ordered by descending leading bit. This
+// form is unique per subspace, giving O(dim) equality and cheap hashing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+#include "gf2/matrix.hpp"
+
+namespace xoridx::gf2 {
+
+class Subspace {
+ public:
+  /// The zero subspace {0} of GF(2)^ambient_dim.
+  explicit Subspace(int ambient_dim);
+
+  /// Smallest subspace containing all of `vectors`.
+  [[nodiscard]] static Subspace span_of(int ambient_dim,
+                                        std::span<const Word> vectors);
+
+  [[nodiscard]] int ambient_dim() const noexcept { return n_; }
+  [[nodiscard]] int dim() const noexcept {
+    return static_cast<int>(basis_.size());
+  }
+
+  /// Canonical RREF basis, leading bits strictly descending.
+  [[nodiscard]] const std::vector<Word>& basis() const noexcept {
+    return basis_;
+  }
+
+  /// Reduce `v` modulo this subspace: XOR away basis vectors whose leading
+  /// bit is set in the running value. The result is the canonical coset
+  /// representative; it is 0 iff `v` is a member.
+  [[nodiscard]] Word reduce(Word v) const;
+
+  [[nodiscard]] bool contains(Word v) const { return reduce(v) == 0; }
+
+  /// Membership for every vector of another subspace.
+  [[nodiscard]] bool contains(const Subspace& other) const;
+
+  /// Add `v` to the span. Returns false (and leaves the subspace
+  /// unchanged) when v was already a member.
+  bool insert(Word v);
+
+  bool operator==(const Subspace&) const = default;
+
+  /// U + W: smallest subspace containing both.
+  [[nodiscard]] Subspace sum(const Subspace& other) const;
+
+  /// U ∩ W via the Zassenhaus algorithm.
+  [[nodiscard]] Subspace intersect(const Subspace& other) const;
+
+  /// True when the intersection with `other` is {0}. Used for the
+  /// permutation-based criterion, Eq. 5.
+  [[nodiscard]] bool trivially_intersects(const Subspace& other) const;
+
+  /// Unit vectors at the non-pivot positions: a basis of a complement of
+  /// this subspace in GF(2)^n (dim == n - dim()).
+  [[nodiscard]] std::vector<Word> complement_basis() const;
+
+  /// Visit all 2^dim members exactly once, starting at 0, in Gray-code
+  /// order (each step XORs a single basis vector). `visit(Word)`.
+  template <typename F>
+  void for_each_member(F&& visit) const {
+    Word v = 0;
+    visit(v);
+    const std::size_t count = std::size_t{1} << dim();
+    for (std::size_t i = 1; i < count; ++i) {
+      v ^= basis_[static_cast<std::size_t>(std::countr_zero(i))];
+      visit(v);
+    }
+  }
+
+  /// All members (2^dim of them, including 0).
+  [[nodiscard]] std::vector<Word> members() const;
+
+  /// Hash of the canonical basis (FNV-1a over basis words).
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int n_ = 0;
+  std::vector<Word> basis_;
+
+  void canonicalize_insertion(Word v);
+};
+
+struct SubspaceHash {
+  std::size_t operator()(const Subspace& s) const noexcept { return s.hash(); }
+};
+
+/// Null space N(H) = {x in GF(2)^n : x H = 0} of an n x m matrix
+/// (paper Eq. 1). dim N(H) = n - rank(H).
+[[nodiscard]] Subspace null_space(const Matrix& h);
+
+/// Canonical full-column-rank matrix H with N(H) == ns. Output shape is
+/// n x (n - ns.dim()). Rows at the non-pivot positions of `ns` form an
+/// identity, so the reconstruction is stable and testable.
+[[nodiscard]] Matrix matrix_from_null_space(const Subspace& ns);
+
+/// Uniformly random d-dimensional subspace of GF(2)^n.
+[[nodiscard]] Subspace random_subspace(int n, int d, std::mt19937_64& rng);
+
+}  // namespace xoridx::gf2

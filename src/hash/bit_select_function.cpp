@@ -1,0 +1,69 @@
+#include "hash/bit_select_function.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xoridx::hash {
+
+using gf2::get_bit;
+using gf2::unit;
+
+BitSelectFunction::BitSelectFunction(int n, std::vector<int> positions)
+    : n_(n), positions_(std::move(positions)) {
+  std::sort(positions_.begin(), positions_.end());
+  for (int p : positions_) {
+    if (p < 0 || p >= n_) throw std::invalid_argument("position out of range");
+    if (get_bit(mask_, p)) throw std::invalid_argument("duplicate position");
+    mask_ |= unit(p);
+  }
+  for (int i = 0; i < n_; ++i)
+    if (!get_bit(mask_, i)) tag_positions_.push_back(i);
+}
+
+BitSelectFunction BitSelectFunction::conventional(int n, int m) {
+  std::vector<int> pos(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) pos[static_cast<std::size_t>(i)] = i;
+  return BitSelectFunction(n, std::move(pos));
+}
+
+Word BitSelectFunction::index(Word block_addr) const {
+  Word s = 0;
+  int out = 0;
+  for (int p : positions_)
+    s |= static_cast<Word>(get_bit(block_addr, p)) << out++;
+  return s;
+}
+
+Word BitSelectFunction::tag(Word block_addr) const {
+  Word t = 0;
+  int out = 0;
+  for (int p : tag_positions_)
+    t |= static_cast<Word>(get_bit(block_addr, p)) << out++;
+  t |= (block_addr >> n_) << out;
+  return t;
+}
+
+std::string BitSelectFunction::describe() const {
+  std::string s = "select{";
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += 'a';
+    s += std::to_string(positions_[i]);
+  }
+  s += '}';
+  return s;
+}
+
+std::unique_ptr<IndexFunction> BitSelectFunction::clone() const {
+  return std::make_unique<BitSelectFunction>(*this);
+}
+
+gf2::Matrix BitSelectFunction::to_matrix() const {
+  gf2::Matrix h(n_, index_bits());
+  for (int j = 0; j < index_bits(); ++j)
+    h.set(positions_[static_cast<std::size_t>(j)], j, true);
+  return h;
+}
+
+}  // namespace xoridx::hash

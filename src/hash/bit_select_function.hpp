@@ -1,0 +1,50 @@
+// Bit-selecting index functions: each set-index bit is one address bit.
+//
+// This is the function class of Givargis (DAC 2003) and Patel et al.
+// (ICCAD 2004) that the paper compares against; the conventional
+// modulo-2^m index is the special case selecting the m low-order bits.
+#pragma once
+
+#include <vector>
+
+#include "gf2/matrix.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::hash {
+
+class BitSelectFunction final : public IndexFunction {
+ public:
+  /// `positions` are the m distinct selected address-bit positions,
+  /// each in [0, n); index bit j is address bit positions[j].
+  BitSelectFunction(int n, std::vector<int> positions);
+
+  /// Conventional modulo indexing: positions {0, 1, ..., m-1}.
+  [[nodiscard]] static BitSelectFunction conventional(int n, int m);
+
+  [[nodiscard]] int input_bits() const noexcept override { return n_; }
+  [[nodiscard]] int index_bits() const noexcept override {
+    return static_cast<int>(positions_.size());
+  }
+  [[nodiscard]] Word index(Word block_addr) const override;
+  [[nodiscard]] Word tag(Word block_addr) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<IndexFunction> clone() const override;
+
+  [[nodiscard]] const std::vector<int>& positions() const noexcept {
+    return positions_;
+  }
+
+  /// Selected positions as a bit mask over the n hashed bits.
+  [[nodiscard]] Word selection_mask() const noexcept { return mask_; }
+
+  /// Equivalent n x m matrix (unit columns at the selected positions).
+  [[nodiscard]] gf2::Matrix to_matrix() const;
+
+ private:
+  int n_;
+  std::vector<int> positions_;      // ascending
+  std::vector<int> tag_positions_;  // the unselected hashed bits, ascending
+  Word mask_ = 0;
+};
+
+}  // namespace xoridx::hash

@@ -1,0 +1,83 @@
+#include "hash/configuration.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace xoridx::hash {
+
+namespace {
+
+int ceil_log2(int values) {
+  int bits = 0;
+  while ((1 << bits) < values) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+int SelectorConfiguration::bits_per_selector() const {
+  return ceil_log2(n - m + 1);
+}
+
+std::string SelectorConfiguration::to_hex() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bitstream.size() * 2);
+  for (const std::uint8_t byte : bitstream) {
+    hex.push_back(digits[byte >> 4]);
+    hex.push_back(digits[byte & 0xf]);
+  }
+  return hex;
+}
+
+SelectorConfiguration selector_configuration(
+    const PermutationFunction& function) {
+  const int n = function.input_bits();
+  const int m = function.index_bits();
+  const gf2::Matrix& g = function.g();
+
+  SelectorConfiguration config;
+  config.n = n;
+  config.m = m;
+  config.settings.resize(static_cast<std::size_t>(m), 0);
+  for (int c = 0; c < m; ++c) {
+    const gf2::Word column = g.column(c);
+    if (gf2::weight(column) > 1)
+      throw std::invalid_argument(
+          "function needs more than 2 XOR inputs; not realizable on the "
+          "2-in selector network");
+    config.settings[static_cast<std::size_t>(c)] =
+        column == 0 ? 0 : 1 + std::countr_zero(column);
+  }
+
+  const int width = config.bits_per_selector();
+  config.bitstream.assign(
+      static_cast<std::size_t>((m * width + 7) / 8), 0);
+  int bit = 0;
+  for (const int setting : config.settings) {
+    for (int b = 0; b < width; ++b, ++bit) {
+      if ((setting >> b) & 1)
+        config.bitstream[static_cast<std::size_t>(bit / 8)] |=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  return config;
+}
+
+PermutationFunction function_from_configuration(
+    const SelectorConfiguration& config) {
+  const int n = config.n;
+  const int m = config.m;
+  if (static_cast<int>(config.settings.size()) != m)
+    throw std::invalid_argument("settings size != m");
+  gf2::Matrix g(n - m, m);
+  for (int c = 0; c < m; ++c) {
+    const int setting = config.settings[static_cast<std::size_t>(c)];
+    if (setting < 0 || setting > n - m)
+      throw std::invalid_argument("selector setting out of range");
+    if (setting != 0) g.set(setting - 1, c, true);
+  }
+  return PermutationFunction(n, m, std::move(g));
+}
+
+}  // namespace xoridx::hash

@@ -1,0 +1,46 @@
+// Selector configuration for the reconfigurable permutation-based 2-input
+// XOR hardware of Section 5 / Figure 2(b).
+//
+// The network has m selectors, one per set-index bit c. Each selector
+// picks the second XOR input from {constant 0, a_m, ..., a_{n-1}} — that
+// is 1-out-of-(n-m+1) — and its output feeds a 2-input XOR whose first
+// input is hard-wired to a_c. A function is realizable iff it is
+// permutation-based with fan-in at most 2 (each column of G has weight
+// <= 1). The configuration image packs each selector value into
+// ceil(log2(n-m+1)) bits, selector 0 first, little-endian within bytes —
+// the bits one would shift into the config scan chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hash/permutation_function.hpp"
+
+namespace xoridx::hash {
+
+struct SelectorConfiguration {
+  int n = 0;
+  int m = 0;
+  /// settings[c]: 0 = constant (index bit c is a_c alone), k in
+  /// [1, n-m] = second input is address bit a_{m+k-1}.
+  std::vector<int> settings;
+  /// Packed scan-chain image.
+  std::vector<std::uint8_t> bitstream;
+
+  [[nodiscard]] int bits_per_selector() const;
+  [[nodiscard]] std::string to_hex() const;
+};
+
+/// Derive the selector configuration for a 2-in permutation function.
+/// Throws std::invalid_argument if any column of G has weight > 1 (needs
+/// more than 2 XOR inputs).
+[[nodiscard]] SelectorConfiguration selector_configuration(
+    const PermutationFunction& function);
+
+/// Rebuild the function a configuration programs (inverse of
+/// selector_configuration up to equality of G).
+[[nodiscard]] PermutationFunction function_from_configuration(
+    const SelectorConfiguration& config);
+
+}  // namespace xoridx::hash

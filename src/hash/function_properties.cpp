@@ -1,0 +1,64 @@
+#include "hash/function_properties.hpp"
+
+#include <vector>
+
+namespace xoridx::hash {
+
+using gf2::Subspace;
+using gf2::unit;
+using gf2::Word;
+
+bool is_permutation_based(const gf2::Matrix& h) {
+  return is_permutation_based(gf2::null_space(h));
+}
+
+bool is_permutation_based(const gf2::Subspace& ns) {
+  const int n = ns.ambient_dim();
+  const int m = n - ns.dim();
+  std::vector<Word> low;
+  low.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) low.push_back(unit(i));
+  const Subspace low_span = Subspace::span_of(n, low);
+  return ns.trivially_intersects(low_span);
+}
+
+bool respects_fan_in(const gf2::Matrix& h, int max_inputs) {
+  return h.max_column_weight() <= max_inputs;
+}
+
+bool is_bit_selecting(const gf2::Matrix& h) {
+  Word seen = 0;
+  for (int c = 0; c < h.cols(); ++c) {
+    const Word col = h.column(c);
+    if (gf2::weight(col) != 1) return false;
+    if ((seen & col) != 0) return false;
+    seen |= col;
+  }
+  return true;
+}
+
+bool tag_index_bijective(const IndexFunction& f) {
+  // Build the null space of the combined (index, tag) map restricted to
+  // the n hashed bits, by brute-force pairwise structure: x is in the
+  // combined null space iff index(x) == index(0) and tag(x) == tag(0)
+  // fails to distinguish... For linear functions it suffices to check that
+  // only x = 0 maps to (index 0, tag 0). Both implemented functions are
+  // linear over the hashed bits, so collect the kernel directly.
+  const int n = f.input_bits();
+  // Columns: m index bits then (n - m) tag bits (tag bits above n-m come
+  // from unhashed address bits and are zero for inputs < 2^n).
+  const int m = f.index_bits();
+  const int tag_cols = n - m;
+  gf2::Matrix combo(n, m + tag_cols);
+  for (int r = 0; r < n; ++r) {
+    const Word x = unit(r);
+    const Word idx = f.index(x) ^ f.index(0);
+    const Word tg = f.tag(x) ^ f.tag(0);
+    Word row = idx & gf2::mask_of(m);
+    row |= (tg & gf2::mask_of(tag_cols)) << m;
+    combo.set_row(r, row);
+  }
+  return gf2::null_space(combo).dim() == 0;
+}
+
+}  // namespace xoridx::hash

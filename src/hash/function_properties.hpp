@@ -1,0 +1,29 @@
+// Structural properties of index functions (paper Sections 2 and 4).
+#pragma once
+
+#include "gf2/matrix.hpp"
+#include "gf2/subspace.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::hash {
+
+/// Eq. 5: H is permutation-based iff N(H) ∩ span(e_0,...,e_{m-1}) = {0},
+/// i.e. no two blocks of an aligned 2^m run collide.
+[[nodiscard]] bool is_permutation_based(const gf2::Matrix& h);
+
+/// Same criterion evaluated directly on a null space, for m = n - dim.
+[[nodiscard]] bool is_permutation_based(const gf2::Subspace& ns);
+
+/// True when every column of H has weight <= max_inputs ("k-in" functions
+/// of Table 2; bit-selecting functions are the 1-in case).
+[[nodiscard]] bool respects_fan_in(const gf2::Matrix& h, int max_inputs);
+
+/// True when H is a bit-selecting matrix: distinct unit columns.
+[[nodiscard]] bool is_bit_selecting(const gf2::Matrix& h);
+
+/// Verify that (tag, index) is injective over all 2^n hashed-bit values by
+/// the null-space criterion N(H) ∩ N(T) = {0} (Section 4). Exhaustive
+/// for small n in tests; this algebraic form is O(n^3).
+[[nodiscard]] bool tag_index_bijective(const IndexFunction& f);
+
+}  // namespace xoridx::hash

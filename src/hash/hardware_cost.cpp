@@ -1,0 +1,82 @@
+#include "hash/hardware_cost.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xoridx::hash {
+
+std::string to_string(ReconfigurableKind kind) {
+  switch (kind) {
+    case ReconfigurableKind::bit_select_naive: return "bit-select";
+    case ReconfigurableKind::bit_select_optimized:
+      return "optimized bit-select";
+    case ReconfigurableKind::general_xor_2in: return "general XOR";
+    case ReconfigurableKind::permutation_based_2in: return "permutation-based";
+  }
+  throw std::logic_error("unknown ReconfigurableKind");
+}
+
+namespace {
+
+int optimized_bit_select_switches(int n, int m) {
+  // m index selectors of 1-out-of-(n-m+1) and (n-m) tag selectors of
+  // 1-out-of-(m+1): the shaded redundant connections of Figure 2(a) are
+  // removed because permuting selected bits yields equivalent configs.
+  return m * (n - m + 1) + (n - m) * (m + 1);
+}
+
+}  // namespace
+
+int switch_count(ReconfigurableKind kind, int n, int m) {
+  assert(0 < m && m <= n);
+  switch (kind) {
+    case ReconfigurableKind::bit_select_naive:
+      // n selectors, each choosing 1 out of all n address bits.
+      return n * n;
+    case ReconfigurableKind::bit_select_optimized:
+      return optimized_bit_select_switches(n, m);
+    case ReconfigurableKind::general_xor_2in:
+      // First XOR input and tag reuse the optimized bit-select network;
+      // each second input selects among n bits plus a constant, with the
+      // triangular redundancy m(m-1)/2 removed.
+      return optimized_bit_select_switches(n, m) + m * (n + 1) -
+             m * (m - 1) / 2;
+    case ReconfigurableKind::permutation_based_2in:
+      // First input fixed to a low-order bit, tag fixed: only the second
+      // inputs are programmable, 1-out-of-(n-m+1) each (n-m high-order
+      // bits plus the constant).
+      return m * (n - m + 1);
+  }
+  throw std::logic_error("unknown ReconfigurableKind");
+}
+
+HardwareCost hardware_cost(ReconfigurableKind kind, int n, int m) {
+  HardwareCost c;
+  c.switches = switch_count(kind, n, m);
+  switch (kind) {
+    case ReconfigurableKind::bit_select_naive:
+      c.xor_gates = 0;
+      c.wires_horizontal = n;
+      c.wires_vertical = n;
+      break;
+    case ReconfigurableKind::bit_select_optimized:
+      c.xor_gates = 0;
+      c.wires_horizontal = n;
+      c.wires_vertical = n;
+      break;
+    case ReconfigurableKind::general_xor_2in:
+      c.xor_gates = m;
+      c.wires_horizontal = n + 1;  // all address bits + constant
+      c.wires_vertical = n;
+      break;
+    case ReconfigurableKind::permutation_based_2in:
+      c.xor_gates = m;
+      // Section 5: only n-m lines crossed by m.
+      c.wires_horizontal = n - m;
+      c.wires_vertical = m;
+      break;
+  }
+  return c;
+}
+
+}  // namespace xoridx::hash

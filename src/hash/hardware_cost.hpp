@@ -1,0 +1,58 @@
+// Reconfigurable-indexing hardware cost model (paper Section 5, Table 1,
+// Figure 2).
+//
+// The unit of cost is a *switch*: one pass gate plus one configuration
+// memory cell inside a selector network. The paper compares four
+// reconfigurable implementations for n hashed address bits and m set
+// index bits:
+//
+//  - naive bit-select: n selectors, each 1-out-of-n           -> n^2
+//  - optimized bit-select: permutation-redundancy removed     ->
+//        m selectors 1-out-of-(n-m+1) for the index bits plus
+//        (n-m) selectors 1-out-of-(m+1) for the tag bits
+//  - general 2-input XOR: optimized bit-select for the first XOR input and
+//    the tag, plus a second-input selector per index bit that may also
+//    pick a constant 0 (so a bit can be selected rather than hashed); the
+//    second-input selectors shed the same triangular redundancy
+//        -> optimized-bit-select + m(n+1) - m(m-1)/2
+//  - permutation-based 2-input XOR: first input fixed to the low-order
+//    address bit, tag fixed to the conventional high-order bits
+//        -> m selectors 1-out-of-(n-m+1)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xoridx::hash {
+
+enum class ReconfigurableKind {
+  bit_select_naive,
+  bit_select_optimized,
+  general_xor_2in,
+  permutation_based_2in,
+};
+
+[[nodiscard]] std::string to_string(ReconfigurableKind kind);
+
+/// Cost breakdown of one reconfigurable indexing implementation.
+struct HardwareCost {
+  int switches = 0;        ///< pass gates == configuration memory cells
+  int xor_gates = 0;       ///< 2-input XOR gates after the selectors
+  int wires_horizontal = 0;  ///< selector-crossbar lines (Section 5)
+  int wires_vertical = 0;    ///< lines crossing them
+  /// Crossbar area proxy: horizontal x vertical wire crossings.
+  [[nodiscard]] std::int64_t wire_crossings() const {
+    return static_cast<std::int64_t>(wires_horizontal) * wires_vertical;
+  }
+};
+
+/// Switch count only (the Table 1 numbers).
+[[nodiscard]] int switch_count(ReconfigurableKind kind, int n, int m);
+
+/// Full cost breakdown, including the wire analysis of Section 5
+/// (bit-select: n lines crossed by n; permutation-based: n-m lines
+/// crossed by m) and XOR gate counts.
+[[nodiscard]] HardwareCost hardware_cost(ReconfigurableKind kind, int n,
+                                         int m);
+
+}  // namespace xoridx::hash

@@ -1,0 +1,68 @@
+#include "hash/permutation_function.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "gf2/subspace.hpp"
+
+namespace xoridx::hash {
+
+using gf2::mask_of;
+using gf2::unit;
+
+PermutationFunction::PermutationFunction(int n, int m, gf2::Matrix g)
+    : n_(n), m_(m), g_(std::move(g)) {
+  if (m < 0 || m > n) throw std::invalid_argument("need 0 <= m <= n");
+  if (g_.rows() != n - m || g_.cols() != m)
+    throw std::invalid_argument("G must be (n-m) x m");
+}
+
+PermutationFunction PermutationFunction::conventional(int n, int m) {
+  return PermutationFunction(n, m, gf2::Matrix(n - m, m));
+}
+
+Word PermutationFunction::index(Word block_addr) const {
+  const Word lo = block_addr & mask_of(m_);
+  const Word hi = (block_addr >> m_) & mask_of(n_ - m_);
+  return lo ^ g_.apply(hi);
+}
+
+Word PermutationFunction::tag(Word block_addr) const {
+  // Conventional tag: all address bits above the index width (Section 4).
+  return block_addr >> m_;
+}
+
+std::string PermutationFunction::describe() const {
+  std::string s;
+  for (int c = 0; c < m_; ++c) {
+    s += "set[" + std::to_string(c) + "] = a" + std::to_string(c);
+    for (int r = 0; r < n_ - m_; ++r)
+      if (g_.get(r, c)) s += " ^ a" + std::to_string(m_ + r);
+    s += '\n';
+  }
+  return s;
+}
+
+std::unique_ptr<IndexFunction> PermutationFunction::clone() const {
+  return std::make_unique<PermutationFunction>(*this);
+}
+
+gf2::Matrix PermutationFunction::to_matrix() const {
+  return gf2::Matrix::vstack(gf2::Matrix::identity(m_), g_);
+}
+
+gf2::Subspace PermutationFunction::null_space() const {
+  gf2::Subspace ns(n_);
+  for (int i = 0; i < n_ - m_; ++i) {
+    const Word v = (unit(i) << m_) | g_.row(i);
+    ns.insert(v);
+  }
+  assert(ns.dim() == n_ - m_);
+  return ns;
+}
+
+int PermutationFunction::max_fan_in() const {
+  return 1 + g_.max_column_weight();
+}
+
+}  // namespace xoridx::hash

@@ -1,0 +1,50 @@
+// Permutation-based hash functions (paper Section 4).
+//
+// These XOR functions map every aligned run of 2^m consecutive blocks
+// conflict-free: restricted to such a run they permute the set indices.
+// Their matrix has the identity in the m low-order rows, so the function
+// is s = a_lo XOR (a_hi G), with G an (n-m) x m matrix; the tag is the
+// conventional one (the high-order address bits), which is what makes the
+// reconfigurable hardware cheap (Section 5, Figure 2b).
+#pragma once
+
+#include "gf2/matrix.hpp"
+#include "gf2/subspace.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::hash {
+
+class PermutationFunction final : public IndexFunction {
+ public:
+  /// `g` has shape (n - m) x m; row i holds the index-bit taps of address
+  /// bit a_{m+i}.
+  PermutationFunction(int n, int m, gf2::Matrix g);
+
+  /// G = 0: the conventional modulo-2^m index.
+  [[nodiscard]] static PermutationFunction conventional(int n, int m);
+
+  [[nodiscard]] int input_bits() const noexcept override { return n_; }
+  [[nodiscard]] int index_bits() const noexcept override { return m_; }
+  [[nodiscard]] Word index(Word block_addr) const override;
+  [[nodiscard]] Word tag(Word block_addr) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<IndexFunction> clone() const override;
+
+  [[nodiscard]] const gf2::Matrix& g() const noexcept { return g_; }
+
+  /// Full n x m matrix [I_m on the low rows; G on the high rows].
+  [[nodiscard]] gf2::Matrix to_matrix() const;
+
+  /// Null space: spanned by rows [e_i | G_i] — closed form, no elimination.
+  [[nodiscard]] gf2::Subspace null_space() const;
+
+  /// Maximum XOR fan-in of the full function: 1 + max column weight of G.
+  [[nodiscard]] int max_fan_in() const;
+
+ private:
+  int n_;
+  int m_;
+  gf2::Matrix g_;
+};
+
+}  // namespace xoridx::hash

@@ -1,0 +1,120 @@
+#include "hash/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "hash/bit_select_function.hpp"
+#include "hash/permutation_function.hpp"
+#include "hash/xor_function.hpp"
+
+namespace xoridx::hash {
+
+namespace {
+
+constexpr const char* header = "xoridx-function v1";
+
+void put_rows(std::ostream& os, const gf2::Matrix& m) {
+  for (int r = 0; r < m.rows(); ++r) {
+    os << "row 0x" << std::hex << m.row(r) << std::dec << "\n";
+  }
+}
+
+std::string expect_keyword(std::istream& is, const std::string& keyword) {
+  std::string word;
+  if (!(is >> word) || word != keyword)
+    throw std::runtime_error("expected '" + keyword + "', got '" + word + "'");
+  return word;
+}
+
+}  // namespace
+
+void write_function(std::ostream& os, const IndexFunction& function) {
+  os << header << "\n";
+  if (const auto* perm = dynamic_cast<const PermutationFunction*>(&function)) {
+    os << "kind permutation\n";
+    os << "n " << perm->input_bits() << "\n";
+    os << "m " << perm->index_bits() << "\n";
+    put_rows(os, perm->g());
+  } else if (const auto* bs =
+                 dynamic_cast<const BitSelectFunction*>(&function)) {
+    os << "kind bitselect\n";
+    os << "n " << bs->input_bits() << "\n";
+    os << "m " << bs->index_bits() << "\n";
+    os << "positions";
+    for (int p : bs->positions()) os << " " << p;
+    os << "\n";
+  } else if (const auto* xf = dynamic_cast<const XorFunction*>(&function)) {
+    os << "kind xor\n";
+    os << "n " << xf->input_bits() << "\n";
+    os << "m " << xf->index_bits() << "\n";
+    put_rows(os, xf->matrix());
+  } else {
+    throw std::invalid_argument("unknown index-function type");
+  }
+  os << "end\n";
+}
+
+std::unique_ptr<IndexFunction> read_function(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != header)
+    throw std::runtime_error("bad xoridx-function header");
+
+  expect_keyword(is, "kind");
+  std::string kind;
+  is >> kind;
+  expect_keyword(is, "n");
+  int n = 0;
+  is >> n;
+  expect_keyword(is, "m");
+  int m = 0;
+  is >> m;
+  if (!is || n <= 0 || m <= 0 || m > n || n > gf2::max_bits)
+    throw std::runtime_error("bad function dimensions");
+
+  auto read_rows = [&](int count, int cols) {
+    gf2::Matrix matrix(count, cols);
+    for (int r = 0; r < count; ++r) {
+      expect_keyword(is, "row");
+      std::string value;
+      is >> value;
+      if (value.rfind("0x", 0) != 0)
+        throw std::runtime_error("row value must be hex");
+      const gf2::Word bits = std::stoull(value.substr(2), nullptr, 16);
+      if ((bits & ~gf2::mask_of(cols)) != 0)
+        throw std::runtime_error("row value out of range");
+      matrix.set_row(r, bits);
+    }
+    return matrix;
+  };
+
+  std::unique_ptr<IndexFunction> result;
+  if (kind == "permutation") {
+    result = std::make_unique<PermutationFunction>(n, m, read_rows(n - m, m));
+  } else if (kind == "bitselect") {
+    expect_keyword(is, "positions");
+    std::vector<int> positions(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) is >> positions[static_cast<std::size_t>(i)];
+    if (!is) throw std::runtime_error("bad positions");
+    result = std::make_unique<BitSelectFunction>(n, std::move(positions));
+  } else if (kind == "xor") {
+    result = std::make_unique<XorFunction>(read_rows(n, m));
+  } else {
+    throw std::runtime_error("unknown function kind '" + kind + "'");
+  }
+  expect_keyword(is, "end");
+  return result;
+}
+
+std::string to_text(const IndexFunction& function) {
+  std::ostringstream os;
+  write_function(os, function);
+  return os.str();
+}
+
+std::unique_ptr<IndexFunction> from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_function(is);
+}
+
+}  // namespace xoridx::hash

@@ -1,0 +1,39 @@
+// Text serialization of index functions.
+//
+// Tuned functions are produced at design time (profiling runs) and
+// consumed elsewhere: by the OS loader that programs the selector
+// network, by simulators, by regression tests. The format is a small
+// line-oriented text block:
+//
+//   xoridx-function v1
+//   kind permutation        # or: xor, bitselect
+//   n 16
+//   m 8
+//   row 0x03                # matrix rows, LSB = index bit 0
+//   ...
+//   end
+//
+// For `permutation`, rows are the (n-m) rows of G; for `xor`, the n rows
+// of H; for `bitselect`, a single `positions` line instead of rows.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "hash/index_function.hpp"
+
+namespace xoridx::hash {
+
+/// Serialize any of the three concrete function types. Throws
+/// std::invalid_argument for unknown dynamic types.
+[[nodiscard]] std::string to_text(const IndexFunction& function);
+
+/// Parse a function serialized by to_text. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] std::unique_ptr<IndexFunction> from_text(const std::string& text);
+
+void write_function(std::ostream& os, const IndexFunction& function);
+[[nodiscard]] std::unique_ptr<IndexFunction> read_function(std::istream& is);
+
+}  // namespace xoridx::hash

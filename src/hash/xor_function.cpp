@@ -1,0 +1,72 @@
+#include "hash/xor_function.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xoridx::hash {
+
+using gf2::get_bit;
+using gf2::leading_bit;
+using gf2::mask_of;
+using gf2::unit;
+
+XorFunction::XorFunction(gf2::Matrix h)
+    : matrix_(std::move(h)), null_space_(gf2::null_space(matrix_)) {
+  if (matrix_.rank() != matrix_.cols())
+    throw std::invalid_argument(
+        "XorFunction requires a full-column-rank matrix");
+  // Tag bits = RREF pivot positions of N(H).
+  Word pivots = 0;
+  for (Word b : null_space_.basis()) pivots |= unit(leading_bit(b));
+  for (int i = 0; i < matrix_.rows(); ++i)
+    if (get_bit(pivots, i)) tag_positions_.push_back(i);
+}
+
+XorFunction XorFunction::from_null_space(const gf2::Subspace& ns) {
+  return XorFunction(gf2::matrix_from_null_space(ns));
+}
+
+XorFunction XorFunction::conventional(int n, int m) {
+  assert(m <= n);
+  gf2::Matrix h(n, m);
+  for (int i = 0; i < m; ++i) h.set_row(i, unit(i));
+  return XorFunction(std::move(h));
+}
+
+Word XorFunction::index(Word block_addr) const {
+  return matrix_.apply(block_addr & mask_of(matrix_.rows()));
+}
+
+Word XorFunction::tag(Word block_addr) const {
+  Word t = 0;
+  int out = 0;
+  for (int pos : tag_positions_)
+    t |= static_cast<Word>(get_bit(block_addr, pos)) << out++;
+  // Unhashed high-order bits complete the tag.
+  t |= (block_addr >> matrix_.rows()) << out;
+  return t;
+}
+
+std::string XorFunction::describe() const {
+  std::string s;
+  for (int c = 0; c < matrix_.cols(); ++c) {
+    s += "set[" + std::to_string(c) + "] =";
+    bool first = true;
+    for (int r = 0; r < matrix_.rows(); ++r) {
+      if (matrix_.get(r, c)) {
+        s += first ? " a" : " ^ a";
+        s += std::to_string(r);
+        first = false;
+      }
+    }
+    if (first) s += " 0";
+    s += '\n';
+  }
+  return s;
+}
+
+std::unique_ptr<IndexFunction> XorFunction::clone() const {
+  return std::make_unique<XorFunction>(*this);
+}
+
+}  // namespace xoridx::hash

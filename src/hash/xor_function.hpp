@@ -1,0 +1,61 @@
+// General XOR set-index functions: s = a H over GF(2).
+#pragma once
+
+#include <vector>
+
+#include "gf2/matrix.hpp"
+#include "gf2/subspace.hpp"
+#include "hash/index_function.hpp"
+
+namespace xoridx::hash {
+
+/// An index function defined by an n x m full-column-rank GF(2) matrix H.
+///
+/// The tag is computed as a bit-selecting function of the n hashed bits —
+/// the pivot positions of N(H) — concatenated with the unhashed high-order
+/// address bits. The paper states (Section 4) that a bit-selecting tag
+/// exists for every XOR index function; the pivot construction realizes
+/// it: a block with zero index and zero selected-tag-bits lies in N(H) and
+/// has zeros at all RREF pivot positions of N(H), hence is zero.
+class XorFunction final : public IndexFunction {
+ public:
+  /// `h` must have full column rank so that all 2^m sets are reachable.
+  explicit XorFunction(gf2::Matrix h);
+
+  /// Reconstruct the canonical matrix for a null space (design-space
+  /// search works on null spaces; see gf2::matrix_from_null_space).
+  [[nodiscard]] static XorFunction from_null_space(const gf2::Subspace& ns);
+
+  /// The conventional modulo-2^m function: select the m low-order bits.
+  [[nodiscard]] static XorFunction conventional(int n, int m);
+
+  [[nodiscard]] int input_bits() const noexcept override {
+    return matrix_.rows();
+  }
+  [[nodiscard]] int index_bits() const noexcept override {
+    return matrix_.cols();
+  }
+  [[nodiscard]] Word index(Word block_addr) const override;
+  [[nodiscard]] Word tag(Word block_addr) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<IndexFunction> clone() const override;
+
+  [[nodiscard]] const gf2::Matrix& matrix() const noexcept { return matrix_; }
+
+  /// Null space of the matrix (cached at construction).
+  [[nodiscard]] const gf2::Subspace& null_space() const noexcept {
+    return null_space_;
+  }
+
+  /// Positions of the hashed bits selected into the tag (ascending).
+  [[nodiscard]] const std::vector<int>& tag_positions() const noexcept {
+    return tag_positions_;
+  }
+
+ private:
+  gf2::Matrix matrix_;
+  gf2::Subspace null_space_;
+  std::vector<int> tag_positions_;
+};
+
+}  // namespace xoridx::hash

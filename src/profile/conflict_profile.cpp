@@ -1,0 +1,97 @@
+#include "profile/conflict_profile.hpp"
+
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "profile/fenwick.hpp"
+
+namespace xoridx::profile {
+
+ConflictProfile::ConflictProfile(int hashed_bits,
+                                 std::uint32_t capacity_blocks)
+    : n_(hashed_bits),
+      capacity_blocks_(capacity_blocks),
+      table_(std::size_t{1} << hashed_bits, 0) {
+  if (hashed_bits < 1 || hashed_bits > 24)
+    throw std::invalid_argument(
+        "hashed_bits must be in [1, 24] for the dense table");
+}
+
+std::uint64_t ConflictProfile::estimate_misses(
+    const gf2::Subspace& ns) const {
+  if (ns.ambient_dim() != n_)
+    throw std::invalid_argument("null space dimension != hashed bits");
+  std::uint64_t total = 0;
+  ns.for_each_member([&](gf2::Word v) { total += misses(v); });
+  return total;
+}
+
+std::uint64_t ConflictProfile::total_mass() const {
+  std::uint64_t total = 0;
+  for (std::size_t v = 1; v < table_.size(); ++v) total += table_[v];
+  return total;
+}
+
+std::size_t ConflictProfile::distinct_vectors() const {
+  std::size_t count = 0;
+  for (std::size_t v = 1; v < table_.size(); ++v)
+    if (table_[v] != 0) ++count;
+  return count;
+}
+
+ConflictProfile build_conflict_profile(const trace::Trace& t,
+                                       const cache::CacheGeometry& geometry,
+                                       int hashed_bits) {
+  ConflictProfile profile(hashed_bits, geometry.num_blocks());
+  const gf2::Word mask = gf2::mask_of(hashed_bits);
+  const int shift = geometry.offset_bits();
+  // Figure 1: a reference whose reuse distance exceeds the cache size (in
+  // blocks) is a capacity miss and contributes no conflict vectors.
+  const std::uint64_t limit = geometry.num_blocks();
+
+  // LRU stack (front = most recently used) with an exact reuse-distance
+  // precheck: a Fenwick tree over reference timestamps counts the blocks
+  // more recent than the previous use, so deep references cost O(log N)
+  // instead of a full capacity-length walk.
+  std::list<std::uint64_t> stack;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where;
+  std::unordered_map<std::uint64_t, std::size_t> last_pos;
+  Fenwick marks(t.size());
+  std::size_t pos = 0;
+
+  for (const trace::Access& a : t) {
+    const std::uint64_t block = a.addr >> shift;
+    ++profile.references;
+    const auto it = where.find(block);
+    if (it == where.end()) {
+      ++profile.compulsory_refs;
+      stack.push_front(block);
+      where[block] = stack.begin();
+    } else {
+      const std::size_t prev = last_pos[block];
+      const auto distance =
+          static_cast<std::uint64_t>(marks.total() - marks.prefix(prev + 1));
+      if (distance > limit) {
+        ++profile.capacity_filtered_refs;
+      } else {
+        ++profile.profiled_refs;
+        // The `distance` blocks above this one on the stack are exactly
+        // the distinct blocks referenced since its previous use.
+        auto walker = stack.begin();
+        for (std::uint64_t i = 0; i < distance; ++i, ++walker) {
+          profile.add((block ^ *walker) & mask);
+          ++profile.pair_count;
+        }
+      }
+      stack.splice(stack.begin(), stack, it->second);
+      marks.add(prev, -1);
+    }
+    marks.add(pos, +1);
+    last_pos[block] = pos;
+    ++pos;
+  }
+  return profile;
+}
+
+}  // namespace xoridx::profile

@@ -1,0 +1,74 @@
+// Conflict-vector profiling (paper Figure 1 and Section 3.1).
+//
+// One pass over the trace accumulates misses(v): how often the XOR
+// difference v = x XOR y (truncated to the n hashed bits) occurred between
+// a reference to block x and an intervening reference to block y since the
+// previous use of x. A hash function H then suffers an *estimated*
+// misses(H) = sum of misses(v) over v in N(H) (Eq. 4). Compulsory misses
+// and capacity misses (reuse distance greater than the cache capacity in
+// blocks) are filtered out, as neither is solvable by re-indexing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "gf2/bitvec.hpp"
+#include "gf2/subspace.hpp"
+#include "trace/trace.hpp"
+
+namespace xoridx::profile {
+
+class ConflictProfile {
+ public:
+  /// `hashed_bits` is the paper's n; the dense table holds 2^n counters.
+  explicit ConflictProfile(int hashed_bits, std::uint32_t capacity_blocks);
+
+  [[nodiscard]] int hashed_bits() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t capacity_blocks() const noexcept {
+    return capacity_blocks_;
+  }
+
+  /// misses(v) of Figure 1.
+  [[nodiscard]] std::uint64_t misses(gf2::Word v) const {
+    return table_[static_cast<std::size_t>(v)];
+  }
+
+  void add(gf2::Word v, std::uint64_t count = 1) {
+    table_[static_cast<std::size_t>(v)] += count;
+  }
+
+  /// Eq. 4: estimated conflict misses of the hash function whose null
+  /// space is `ns` — the sum of misses(v) over all members v of ns
+  /// (including v = 0, whose count is identical for every function).
+  [[nodiscard]] std::uint64_t estimate_misses(const gf2::Subspace& ns) const;
+
+  /// Total conflict-vector mass (sum over all v != 0); useful as an upper
+  /// bound and for normalization in reports.
+  [[nodiscard]] std::uint64_t total_mass() const;
+
+  /// Number of distinct nonzero vectors with a count.
+  [[nodiscard]] std::size_t distinct_vectors() const;
+
+  // Bookkeeping from the profiling pass.
+  std::uint64_t references = 0;
+  std::uint64_t compulsory_refs = 0;
+  std::uint64_t capacity_filtered_refs = 0;
+  std::uint64_t profiled_refs = 0;
+  std::uint64_t pair_count = 0;  ///< total (x, y) pairs counted
+
+ private:
+  int n_;
+  std::uint32_t capacity_blocks_;
+  std::vector<std::uint64_t> table_;
+};
+
+/// Run Figure 1 over a trace: push compulsory references, skip references
+/// whose reuse distance exceeds the cache capacity, and accumulate
+/// conflict vectors for the rest. Addresses are converted to block
+/// addresses with geometry.offset_bits().
+[[nodiscard]] ConflictProfile build_conflict_profile(
+    const trace::Trace& t, const cache::CacheGeometry& geometry,
+    int hashed_bits);
+
+}  // namespace xoridx::profile

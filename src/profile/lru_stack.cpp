@@ -1,0 +1,42 @@
+#include "profile/lru_stack.hpp"
+
+namespace xoridx::profile {
+
+LruStack::Result LruStack::reference(std::uint64_t block, std::size_t limit) {
+  Result result;
+  const auto it = pos_.find(block);
+  if (it == pos_.end()) {
+    result.first_touch = true;
+    stack_.push_front(block);
+    pos_[block] = stack_.begin();
+    return result;
+  }
+
+  // Walk from the top looking for the block, collecting what lies above.
+  // If it is not within `limit` entries, the reuse distance exceeds the
+  // cache capacity: report `deep` without materializing the walk.
+  auto walker = stack_.begin();
+  std::size_t depth = 0;
+  bool found = false;
+  while (depth <= limit && walker != stack_.end()) {
+    if (walker == it->second) {
+      found = true;
+      break;
+    }
+    result.above.push_back(*walker);
+    ++walker;
+    ++depth;
+  }
+  if (!found) {
+    result.deep = true;
+    result.above.clear();
+  }
+  stack_.splice(stack_.begin(), stack_, it->second);
+  return result;
+}
+
+std::vector<std::uint64_t> LruStack::contents() const {
+  return {stack_.begin(), stack_.end()};
+}
+
+}  // namespace xoridx::profile

@@ -1,0 +1,47 @@
+#include "profile/reuse_distance.hpp"
+
+#include <unordered_map>
+
+#include "profile/fenwick.hpp"
+
+namespace xoridx::profile {
+
+std::uint64_t ReuseHistogram::lru_misses(std::size_t capacity) const {
+  std::uint64_t misses = first_touches + deeper;
+  for (std::size_t d = capacity; d < bucket.size(); ++d) misses += bucket[d];
+  return misses;
+}
+
+ReuseHistogram reuse_distance_histogram(const trace::Trace& t,
+                                        int block_offset_bits,
+                                        std::size_t max_distance) {
+  ReuseHistogram h;
+  h.bucket.assign(max_distance, 0);
+  Fenwick marks(t.size());
+  std::unordered_map<std::uint64_t, std::size_t> last_pos;
+  std::size_t pos = 0;
+  for (const trace::Access& a : t) {
+    const std::uint64_t block = a.addr >> block_offset_bits;
+    ++h.references;
+    const auto it = last_pos.find(block);
+    if (it == last_pos.end()) {
+      ++h.first_touches;
+    } else {
+      // Distinct blocks touched after the previous access to `block`:
+      // markers strictly after its last position.
+      const auto distance = static_cast<std::uint64_t>(
+          marks.total() - marks.prefix(it->second + 1));
+      if (distance < max_distance)
+        ++h.bucket[static_cast<std::size_t>(distance)];
+      else
+        ++h.deeper;
+      marks.add(it->second, -1);
+    }
+    marks.add(pos, +1);
+    last_pos[block] = pos;
+    ++pos;
+  }
+  return h;
+}
+
+}  // namespace xoridx::profile

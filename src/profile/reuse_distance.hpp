@@ -1,0 +1,34 @@
+// Reuse-distance (LRU stack distance) analysis.
+//
+// Supports the capacity filter of Figure 1 and workload characterization:
+// the number of misses of a fully-associative LRU cache of capacity C
+// equals the number of references with distance >= C plus first touches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace xoridx::profile {
+
+struct ReuseHistogram {
+  /// bucket[d] = number of references whose reuse distance (distinct
+  /// blocks since previous use) is exactly d, for d < bucket.size().
+  std::vector<std::uint64_t> bucket;
+  std::uint64_t deeper = 0;       ///< distance >= bucket.size()
+  std::uint64_t first_touches = 0;
+  std::uint64_t references = 0;
+
+  /// Misses of a fully-associative LRU cache with `capacity` blocks
+  /// (capacity must be < bucket.size()).
+  [[nodiscard]] std::uint64_t lru_misses(std::size_t capacity) const;
+};
+
+/// O(N log N) single pass (Bennett–Kruskal style, Fenwick tree over
+/// reference time).
+[[nodiscard]] ReuseHistogram reuse_distance_histogram(const trace::Trace& t,
+                                                      int block_offset_bits,
+                                                      std::size_t max_distance);
+
+}  // namespace xoridx::profile

@@ -1,0 +1,108 @@
+#include "search/bit_select_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <vector>
+
+#include "search/estimator.hpp"
+
+namespace xoridx::search {
+
+namespace {
+
+using gf2::Word;
+
+struct ClimbOutcome {
+  Word selected = 0;
+  std::uint64_t estimate = 0;
+  std::uint64_t evaluations = 0;
+  int iterations = 0;
+};
+
+ClimbOutcome climb(const profile::ConflictProfile& profile, Word selected,
+                   int n, int max_iterations) {
+  const Word all = gf2::mask_of(n);
+  ClimbOutcome out;
+  out.selected = selected;
+  out.estimate = estimate_misses_submasks(profile, all & ~selected);
+  out.evaluations = 1;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    Word best_selected = out.selected;
+    std::uint64_t best = out.estimate;
+    for (int drop = 0; drop < n; ++drop) {
+      if (!gf2::get_bit(out.selected, drop)) continue;
+      for (int add = 0; add < n; ++add) {
+        if (gf2::get_bit(out.selected, add)) continue;
+        const Word candidate =
+            (out.selected ^ gf2::unit(drop)) | gf2::unit(add);
+        const std::uint64_t est =
+            estimate_misses_submasks(profile, all & ~candidate);
+        ++out.evaluations;
+        if (est < best) {
+          best = est;
+          best_selected = candidate;
+        }
+      }
+    }
+    if (best_selected == out.selected) break;
+    out.selected = best_selected;
+    out.estimate = best;
+    ++out.iterations;
+  }
+  return out;
+}
+
+Word random_selection(int n, int m, std::mt19937_64& rng) {
+  std::vector<int> positions(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) positions[static_cast<std::size_t>(i)] = i;
+  std::shuffle(positions.begin(), positions.end(), rng);
+  Word mask = 0;
+  for (int i = 0; i < m; ++i)
+    mask |= gf2::unit(positions[static_cast<std::size_t>(i)]);
+  return mask;
+}
+
+std::vector<int> mask_to_positions(Word mask) {
+  std::vector<int> pos;
+  while (mask != 0) {
+    pos.push_back(std::countr_zero(mask));
+    mask &= mask - 1;
+  }
+  return pos;
+}
+
+}  // namespace
+
+BitSelectSearchResult search_bit_select(
+    const profile::ConflictProfile& profile, int index_bits,
+    const SearchOptions& options) {
+  const int n = profile.hashed_bits();
+  const int m = index_bits;
+  assert(m <= n);
+
+  const Word conventional = gf2::mask_of(m);
+  ClimbOutcome best = climb(profile, conventional, n, options.max_iterations);
+
+  SearchStats stats;
+  stats.evaluations = best.evaluations;
+  stats.iterations = best.iterations;
+  stats.start_estimate =
+      estimate_misses_submasks(profile, gf2::mask_of(n) & ~conventional);
+
+  std::mt19937_64 rng(options.seed);
+  for (int r = 0; r < options.random_restarts; ++r) {
+    ClimbOutcome candidate =
+        climb(profile, random_selection(n, m, rng), n, options.max_iterations);
+    stats.evaluations += candidate.evaluations;
+    ++stats.restarts_used;
+    if (candidate.estimate < best.estimate) best = candidate;
+  }
+  stats.best_estimate = best.estimate;
+
+  return BitSelectSearchResult{
+      hash::BitSelectFunction(n, mask_to_positions(best.selected)), stats};
+}
+
+}  // namespace xoridx::search

@@ -1,0 +1,23 @@
+// Hill-climbing construction of bit-selecting functions (the paper's
+// "1-in" column): heuristic counterpart to the optimal algorithm of Patel
+// et al., run in the same null-space framework. The state is the set of m
+// selected positions; neighbors swap one selected bit for an unselected
+// one (their null spaces differ in exactly one dimension).
+#pragma once
+
+#include "hash/bit_select_function.hpp"
+#include "profile/conflict_profile.hpp"
+#include "search/search_types.hpp"
+
+namespace xoridx::search {
+
+struct BitSelectSearchResult {
+  hash::BitSelectFunction function;
+  SearchStats stats;
+};
+
+[[nodiscard]] BitSelectSearchResult search_bit_select(
+    const profile::ConflictProfile& profile, int index_bits,
+    const SearchOptions& options = {});
+
+}  // namespace xoridx::search

@@ -1,0 +1,31 @@
+#include "search/estimator.hpp"
+
+namespace xoridx::search {
+
+std::uint64_t estimate_misses_basis(const profile::ConflictProfile& profile,
+                                    std::span<const gf2::Word> basis) {
+  std::uint64_t total = profile.misses(0);
+  gf2::Word v = 0;
+  const std::size_t count = std::size_t{1} << basis.size();
+  for (std::size_t i = 1; i < count; ++i) {
+    v ^= basis[static_cast<std::size_t>(std::countr_zero(i))];
+    total += profile.misses(v);
+  }
+  return total;
+}
+
+std::uint64_t estimate_misses_submasks(const profile::ConflictProfile& profile,
+                                       gf2::Word unselected_mask) {
+  // Enumerate submasks of unselected_mask (standard decrement-and-mask),
+  // starting from the full mask and ending at 0.
+  std::uint64_t total = 0;
+  gf2::Word v = unselected_mask;
+  for (;;) {
+    total += profile.misses(v);
+    if (v == 0) break;
+    v = (v - 1) & unselected_mask;
+  }
+  return total;
+}
+
+}  // namespace xoridx::search

@@ -1,0 +1,27 @@
+// Fast Eq.-4 evaluation of candidate hash functions against a conflict
+// profile. The search evaluates tens of millions of candidates per run;
+// these helpers avoid canonicalizing a Subspace per candidate by working
+// on raw (independent) basis vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gf2/bitvec.hpp"
+#include "profile/conflict_profile.hpp"
+
+namespace xoridx::search {
+
+/// Sum of misses(v) over the span of `basis` (vectors must be linearly
+/// independent; Gray-code enumeration of all 2^basis.size() members,
+/// including v = 0).
+[[nodiscard]] std::uint64_t estimate_misses_basis(
+    const profile::ConflictProfile& profile, std::span<const gf2::Word> basis);
+
+/// Bit-selecting special case: the null space of a selection is the span
+/// of the unit vectors at the *unselected* positions, so Eq. 4 is the sum
+/// of misses(v) over all submasks v of `unselected_mask`.
+[[nodiscard]] std::uint64_t estimate_misses_submasks(
+    const profile::ConflictProfile& profile, gf2::Word unselected_mask);
+
+}  // namespace xoridx::search

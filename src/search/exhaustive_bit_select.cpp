@@ -1,0 +1,157 @@
+#include "search/exhaustive_bit_select.hpp"
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/simulate.hpp"
+#include "search/estimator.hpp"
+
+namespace xoridx::search {
+
+namespace {
+
+using gf2::Word;
+
+/// Software parallel-bit-extract for 16-bit masks: two 256-entry byte
+/// tables, so per-access index extraction is two loads, a shift and an or.
+class Pext16 {
+ public:
+  explicit Pext16(std::uint32_t mask) {
+    const std::uint32_t lo_mask = mask & 0xffu;
+    const std::uint32_t hi_mask = (mask >> 8) & 0xffu;
+    lo_width_ = std::popcount(lo_mask);
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      lo_[b] = static_cast<std::uint16_t>(extract_byte(b, lo_mask));
+      hi_[b] = static_cast<std::uint16_t>(extract_byte(b, hi_mask));
+    }
+  }
+
+  [[nodiscard]] std::uint32_t operator()(std::uint32_t bits) const {
+    return lo_[bits & 0xffu] |
+           (static_cast<std::uint32_t>(hi_[(bits >> 8) & 0xffu]) << lo_width_);
+  }
+
+ private:
+  static std::uint32_t extract_byte(std::uint32_t value, std::uint32_t mask) {
+    std::uint32_t out = 0;
+    int pos = 0;
+    for (int i = 0; i < 8; ++i) {
+      if ((mask >> i) & 1u) {
+        out |= ((value >> i) & 1u) << pos;
+        ++pos;
+      }
+    }
+    return out;
+  }
+
+  std::array<std::uint16_t, 256> lo_{};
+  std::array<std::uint16_t, 256> hi_{};
+  int lo_width_ = 0;
+};
+
+std::vector<int> mask_to_positions(Word mask) {
+  std::vector<int> pos;
+  while (mask != 0) {
+    pos.push_back(std::countr_zero(mask));
+    mask &= mask - 1;
+  }
+  return pos;
+}
+
+/// Exact direct-mapped miss count for one bit selection. Stores the full
+/// block address per line, which is equivalent to a (tag, index) check
+/// because tag+index are jointly injective for bit selection.
+std::uint64_t simulate_selection(std::span<const std::uint64_t> blocks,
+                                 std::uint32_t mask, int index_bits,
+                                 std::vector<std::uint64_t>& lines) {
+  const Pext16 extract(mask);
+  lines.assign(std::size_t{1} << index_bits, ~std::uint64_t{0});
+  std::uint64_t misses = 0;
+  for (const std::uint64_t block : blocks) {
+    const std::uint32_t set = extract(static_cast<std::uint32_t>(block & 0xffffu));
+    // Blocks differing only above bit 16 share a set; the stored block
+    // address disambiguates them exactly as a hardware tag would.
+    if (lines[set] != block) {
+      ++misses;
+      lines[set] = block;
+    }
+  }
+  return misses;
+}
+
+/// Visit every m-bit submask of the low n bits (Gosper's hack).
+template <typename F>
+void for_each_combination(int n, int m, F&& visit) {
+  assert(m >= 1 && m <= n);
+  const std::uint32_t limit = 1u << n;
+  std::uint32_t mask = (1u << m) - 1;
+  while (mask < limit) {
+    visit(mask);
+    const std::uint32_t c = mask & (~mask + 1);
+    const std::uint32_t r = mask + c;
+    if (r >= limit || r == 0) break;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+}
+
+}  // namespace
+
+ExhaustiveBitSelectResult optimal_bit_select(
+    const trace::Trace& t, const cache::CacheGeometry& geometry,
+    int hashed_bits) {
+  if (hashed_bits > 16)
+    throw std::invalid_argument("optimal_bit_select supports n <= 16");
+  const int m = geometry.index_bits();
+  const int n = hashed_bits;
+  if (m > n) throw std::invalid_argument("index bits exceed hashed bits");
+
+  const std::vector<std::uint64_t> blocks =
+      t.block_addresses(geometry.offset_bits());
+
+  ExhaustiveBitSelectResult result{
+      hash::BitSelectFunction::conventional(n, m), ~std::uint64_t{0}, 0};
+  std::vector<std::uint64_t> lines;
+  std::uint32_t best_mask = (1u << m) - 1;
+  for_each_combination(n, m, [&](std::uint32_t mask) {
+    const std::uint64_t misses = simulate_selection(blocks, mask, m, lines);
+    ++result.candidates;
+    if (misses < result.misses) {
+      result.misses = misses;
+      best_mask = mask;
+    }
+  });
+  result.function = hash::BitSelectFunction(n, mask_to_positions(best_mask));
+  return result;
+}
+
+ExhaustiveBitSelectResult optimal_bit_select_estimated(
+    const trace::Trace& t, const cache::CacheGeometry& geometry,
+    const profile::ConflictProfile& profile) {
+  const int n = profile.hashed_bits();
+  const int m = geometry.index_bits();
+  if (m > n) throw std::invalid_argument("index bits exceed hashed bits");
+
+  std::uint64_t best_estimate = ~std::uint64_t{0};
+  std::uint32_t best_mask = (1u << m) - 1;
+  std::uint64_t candidates = 0;
+  const Word all = gf2::mask_of(n);
+  for_each_combination(n, m, [&](std::uint32_t mask) {
+    const std::uint64_t est =
+        estimate_misses_submasks(profile, all & ~static_cast<Word>(mask));
+    ++candidates;
+    if (est < best_estimate) {
+      best_estimate = est;
+      best_mask = mask;
+    }
+  });
+
+  hash::BitSelectFunction fn(n, mask_to_positions(best_mask));
+  const cache::CacheStats stats =
+      cache::simulate_direct_mapped(t, geometry, fn);
+  return ExhaustiveBitSelectResult{std::move(fn), stats.misses, candidates};
+}
+
+}  // namespace xoridx::search

@@ -1,0 +1,43 @@
+#include "search/exhaustive_xor.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gf2/counting.hpp"
+#include "gf2/enumerate.hpp"
+#include "gf2/subspace.hpp"
+#include "search/estimator.hpp"
+
+namespace xoridx::search {
+
+ExhaustiveXorResult optimal_xor_estimated(
+    const profile::ConflictProfile& profile, int index_bits) {
+  const int n = profile.hashed_bits();
+  const int m = index_bits;
+  const int d = n - m;
+  if (d < 0) throw std::invalid_argument("index bits exceed hashed bits");
+
+  const long double count = gf2::count_null_spaces(n, d);
+  if (count > static_cast<long double>(1u << 28))
+    throw std::invalid_argument(
+        "design space too large for exhaustive XOR search; reduce n");
+
+  std::uint64_t best = ~std::uint64_t{0};
+  std::vector<gf2::Word> best_basis;
+  std::uint64_t candidates = 0;
+  gf2::for_each_subspace(n, d, [&](std::span<const gf2::Word> basis) {
+    const std::uint64_t est = estimate_misses_basis(profile, basis);
+    ++candidates;
+    if (est < best) {
+      best = est;
+      best_basis.assign(basis.begin(), basis.end());
+    }
+  });
+
+  const gf2::Subspace ns = gf2::Subspace::span_of(n, best_basis);
+  ExhaustiveXorResult result{hash::XorFunction::from_null_space(ns), best,
+                             candidates};
+  return result;
+}
+
+}  // namespace xoridx::search

@@ -1,0 +1,128 @@
+#include "search/permutation_search.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "search/estimator.hpp"
+
+namespace xoridx::search {
+
+namespace {
+
+using gf2::Matrix;
+using gf2::Word;
+
+/// Null-space basis rows [e_i | G_i] of the permutation function [G; I_m].
+std::vector<Word> null_basis(const Matrix& g, int m) {
+  std::vector<Word> basis(static_cast<std::size_t>(g.rows()));
+  for (int i = 0; i < g.rows(); ++i)
+    basis[static_cast<std::size_t>(i)] =
+        (gf2::unit(i) << m) | g.row(i);
+  return basis;
+}
+
+struct ClimbOutcome {
+  Matrix g;
+  std::uint64_t estimate = 0;
+  std::uint64_t evaluations = 0;
+  int iterations = 0;
+};
+
+ClimbOutcome climb(const profile::ConflictProfile& profile, Matrix g, int m,
+                   int max_g_column_weight, int max_iterations) {
+  const int d = g.rows();  // n - m
+  std::vector<Word> basis = null_basis(g, m);
+  std::uint64_t current = estimate_misses_basis(profile, basis);
+  ClimbOutcome out{std::move(g), current, 1, 0};
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    int best_r = -1;
+    int best_c = -1;
+    std::uint64_t best = out.estimate;
+    for (int r = 0; r < d; ++r) {
+      for (int c = 0; c < m; ++c) {
+        const bool setting = !out.g.get(r, c);
+        if (setting && out.g.column_weight(c) >= max_g_column_weight)
+          continue;  // fan-in cap would be exceeded
+        // Toggle one basis vector in place and evaluate.
+        basis[static_cast<std::size_t>(r)] ^= gf2::unit(c);
+        const std::uint64_t est = estimate_misses_basis(profile, basis);
+        basis[static_cast<std::size_t>(r)] ^= gf2::unit(c);
+        ++out.evaluations;
+        if (est < best) {
+          best = est;
+          best_r = r;
+          best_c = c;
+        }
+      }
+    }
+    if (best_r < 0) break;  // local optimum (steepest descent stops)
+    out.g.set(best_r, best_c, !out.g.get(best_r, best_c));
+    basis[static_cast<std::size_t>(best_r)] ^= gf2::unit(best_c);
+    out.estimate = best;
+    ++out.iterations;
+  }
+  return out;
+}
+
+Matrix random_constrained_g(int d, int m, int max_col_weight,
+                            std::mt19937_64& rng) {
+  Matrix g(d, m);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int c = 0; c < m; ++c) {
+    int weight = 0;
+    for (int r = 0; r < d && weight < max_col_weight; ++r) {
+      if (coin(rng) != 0) {
+        g.set(r, c, true);
+        ++weight;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+PermutationSearchResult search_permutation(
+    const profile::ConflictProfile& profile, int index_bits,
+    const SearchOptions& options) {
+  const int n = profile.hashed_bits();
+  const int m = index_bits;
+  const int d = n - m;
+  assert(d >= 0);
+  const int max_g_weight =
+      options.max_fan_in == SearchOptions::unlimited
+          ? d
+          : std::max(0, options.max_fan_in - 1);
+
+  // Paper start point: the conventional index (G = 0).
+  ClimbOutcome best =
+      climb(profile, Matrix(d, m), m, max_g_weight, options.max_iterations);
+  std::uint64_t start_estimate = best.estimate;
+  {
+    // Record the estimate of the *starting* function, before any move.
+    std::vector<Word> basis = null_basis(Matrix(d, m), m);
+    start_estimate = estimate_misses_basis(profile, basis);
+  }
+
+  SearchStats stats;
+  stats.evaluations = best.evaluations;
+  stats.iterations = best.iterations;
+  stats.start_estimate = start_estimate;
+
+  std::mt19937_64 rng(options.seed);
+  for (int r = 0; r < options.random_restarts; ++r) {
+    ClimbOutcome candidate =
+        climb(profile, random_constrained_g(d, m, max_g_weight, rng), m,
+              max_g_weight, options.max_iterations);
+    stats.evaluations += candidate.evaluations;
+    ++stats.restarts_used;
+    if (candidate.estimate < best.estimate) best = std::move(candidate);
+  }
+  stats.best_estimate = best.estimate;
+
+  return PermutationSearchResult{
+      hash::PermutationFunction(n, m, std::move(best.g)), stats};
+}
+
+}  // namespace xoridx::search

@@ -1,0 +1,33 @@
+// Hill-climbing construction of permutation-based XOR functions
+// (Sections 3.2 and 4).
+//
+// The state is the (n-m) x m matrix G; the full function is [G; I_m]. The
+// null space has the closed-form basis rows [e_i | G_i], so a candidate
+// is evaluated with one Gray-code sweep of 2^(n-m) table lookups. A
+// neighbor differs in exactly one bit of G, which changes exactly one
+// basis vector — precisely the paper's "null spaces differing in one
+// dimension". Fan-in limits ("2-in"/"4-in") cap the column weight of G at
+// max_fan_in - 1 since the identity row contributes one input per XOR.
+#pragma once
+
+#include <random>
+
+#include "hash/permutation_function.hpp"
+#include "profile/conflict_profile.hpp"
+#include "search/search_types.hpp"
+
+namespace xoridx::search {
+
+struct PermutationSearchResult {
+  hash::PermutationFunction function;
+  SearchStats stats;
+};
+
+/// Find a permutation-based function minimizing the Eq.-4 estimate for
+/// `m = index_bits` set-index bits. Starts at G = 0 (the conventional
+/// index), plus options.random_restarts random starts.
+[[nodiscard]] PermutationSearchResult search_permutation(
+    const profile::ConflictProfile& profile, int index_bits,
+    const SearchOptions& options = {});
+
+}  // namespace xoridx::search

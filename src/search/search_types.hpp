@@ -1,0 +1,48 @@
+// Shared types for the design-space search (paper Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xoridx::search {
+
+/// The function classes evaluated in the paper.
+enum class FunctionClass {
+  bit_select,   ///< "1-in": each index bit is one address bit
+  permutation,  ///< Section 4: [G; I] form, conventional tag
+  general_xor,  ///< unrestricted XOR functions (null-space search)
+};
+
+/// Constraints and knobs for a search run.
+struct SearchOptions {
+  FunctionClass function_class = FunctionClass::permutation;
+
+  /// Maximum inputs per XOR gate ("2-in"/"4-in" of Table 2). The value
+  /// `unlimited` reproduces the paper's "16-in" columns. Ignored for
+  /// bit-select (always 1).
+  int max_fan_in = unlimited;
+
+  /// Number of additional random starting points beyond the conventional
+  /// index (0 = paper behaviour: start at the conventional function).
+  int random_restarts = 0;
+
+  /// Seed for the restart generator.
+  std::uint64_t seed = 0x5eed;
+
+  /// Safety bound on hill-climbing iterations (each iteration scans the
+  /// full neighborhood; convergence is typically < 30 iterations).
+  int max_iterations = 1000;
+
+  static constexpr int unlimited = std::numeric_limits<int>::max();
+};
+
+/// Bookkeeping of one hill-climbing run.
+struct SearchStats {
+  std::uint64_t evaluations = 0;  ///< candidate functions estimated
+  int iterations = 0;             ///< accepted steepest-descent moves
+  int restarts_used = 0;
+  std::uint64_t start_estimate = 0;
+  std::uint64_t best_estimate = 0;
+};
+
+}  // namespace xoridx::search

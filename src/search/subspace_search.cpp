@@ -1,0 +1,122 @@
+#include "search/subspace_search.hpp"
+
+#include <cassert>
+#include <random>
+#include <vector>
+
+#include "search/estimator.hpp"
+
+namespace xoridx::search {
+
+namespace {
+
+using gf2::Subspace;
+using gf2::Word;
+
+struct ClimbOutcome {
+  Subspace space;
+  std::uint64_t estimate = 0;
+  std::uint64_t evaluations = 0;
+  int iterations = 0;
+};
+
+/// One steepest-descent run from `start`.
+ClimbOutcome climb(const profile::ConflictProfile& profile, Subspace start,
+                   int max_iterations) {
+  const int n = profile.hashed_bits();
+  const int d = start.dim();
+
+  ClimbOutcome out{std::move(start), 0, 0, 0};
+  out.estimate = estimate_misses_basis(profile, out.space.basis());
+  out.evaluations = 1;
+
+  std::vector<Word> candidate(static_cast<std::size_t>(d));
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const std::vector<Word>& basis = out.space.basis();
+    const std::vector<Word> comp = out.space.complement_basis();
+    assert(static_cast<int>(comp.size()) == n - d);
+
+    std::uint64_t best = out.estimate;
+    std::vector<Word> best_basis;
+
+    // Hyperplane selector α over the current basis coordinates.
+    for (Word alpha = 1; alpha < (Word{1} << d); ++alpha) {
+      // Pivot basis vector outside the hyperplane U = ker(α).
+      const int j = std::countr_zero(alpha);
+      const Word k0 = basis[static_cast<std::size_t>(j)];
+      // Basis of U in candidate[0..d-2]: untouched basis vectors where
+      // α_i = 0, and b_i ⊕ b_j where α_i = 1 (i != j).
+      int u_count = 0;
+      for (int i = 0; i < d; ++i) {
+        if (i == j) continue;
+        const Word b = basis[static_cast<std::size_t>(i)];
+        candidate[static_cast<std::size_t>(u_count++)] =
+            gf2::get_bit(alpha, i) ? (b ^ k0) : b;
+      }
+      // New direction w = c ⊕ ε·k0 over nonzero complement members c.
+      // Enumerate c by Gray code over comp.
+      Word c = 0;
+      const std::size_t comp_count = std::size_t{1} << comp.size();
+      for (std::size_t ci = 1; ci < comp_count; ++ci) {
+        c ^= comp[static_cast<std::size_t>(std::countr_zero(ci))];
+        for (int eps = 0; eps < 2; ++eps) {
+          candidate[static_cast<std::size_t>(d - 1)] =
+              eps == 0 ? c : (c ^ k0);
+          const std::uint64_t est = estimate_misses_basis(profile, candidate);
+          ++out.evaluations;
+          if (est < best) {
+            best = est;
+            best_basis = candidate;
+          }
+        }
+      }
+    }
+
+    if (best_basis.empty()) break;  // local optimum
+    out.space = Subspace::span_of(n, best_basis);
+    assert(out.space.dim() == d);
+    out.estimate = best;
+    ++out.iterations;
+  }
+  return out;
+}
+
+}  // namespace
+
+SubspaceSearchResult search_general_xor(
+    const profile::ConflictProfile& profile, int index_bits,
+    const SearchOptions& options) {
+  const int n = profile.hashed_bits();
+  const int m = index_bits;
+  const int d = n - m;
+  assert(d >= 0);
+
+  // Null space of the conventional index: the high-order directions.
+  std::vector<Word> high;
+  high.reserve(static_cast<std::size_t>(d));
+  for (int i = m; i < n; ++i) high.push_back(gf2::unit(i));
+  const Subspace conventional = Subspace::span_of(n, high);
+
+  ClimbOutcome best = climb(profile, conventional, options.max_iterations);
+
+  SearchStats stats;
+  stats.evaluations = best.evaluations;
+  stats.iterations = best.iterations;
+  stats.start_estimate = estimate_misses_basis(profile, conventional.basis());
+
+  std::mt19937_64 rng(options.seed);
+  for (int r = 0; r < options.random_restarts; ++r) {
+    ClimbOutcome candidate = climb(
+        profile, gf2::random_subspace(n, d, rng), options.max_iterations);
+    stats.evaluations += candidate.evaluations;
+    ++stats.restarts_used;
+    if (candidate.estimate < best.estimate) best = std::move(candidate);
+  }
+  stats.best_estimate = best.estimate;
+
+  hash::XorFunction fn = hash::XorFunction::from_null_space(best.space);
+  return SubspaceSearchResult{std::move(fn), std::move(best.space), stats};
+}
+
+}  // namespace xoridx::search

@@ -1,0 +1,24 @@
+// A single memory reference in a program trace.
+#pragma once
+
+#include <cstdint>
+
+namespace xoridx::trace {
+
+enum class AccessKind : std::uint8_t {
+  read = 0,   ///< data load
+  write = 1,  ///< data store
+  fetch = 2,  ///< instruction fetch
+};
+
+/// One reference: a byte address plus its kind. Cache behaviour in this
+/// study depends only on the block address; the kind feeds statistics and
+/// the split I/D cache routing.
+struct Access {
+  std::uint64_t addr = 0;
+  AccessKind kind = AccessKind::read;
+
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+}  // namespace xoridx::trace

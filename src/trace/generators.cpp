@@ -1,0 +1,68 @@
+#include "trace/generators.hpp"
+
+namespace xoridx::trace {
+
+Trace stride_trace(std::uint64_t base, std::uint64_t stride_bytes,
+                   std::size_t count) {
+  Trace t;
+  t.reserve(count);
+  std::uint64_t addr = base;
+  for (std::size_t i = 0; i < count; ++i) {
+    t.append(addr, AccessKind::read);
+    addr += stride_bytes;
+  }
+  return t;
+}
+
+Trace interleaved_arrays_trace(std::uint64_t base,
+                               std::uint64_t array_gap_bytes, int vectors,
+                               std::size_t elems, int elem_bytes,
+                               std::size_t repetitions) {
+  Trace t;
+  t.reserve(repetitions * elems * static_cast<std::size_t>(vectors));
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      for (int v = 0; v < vectors; ++v) {
+        const std::uint64_t addr =
+            base + static_cast<std::uint64_t>(v) * array_gap_bytes +
+            static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(elem_bytes);
+        // Last vector is the destination of the element-wise operation.
+        t.append(addr, v == vectors - 1 ? AccessKind::write : AccessKind::read);
+      }
+    }
+  }
+  return t;
+}
+
+Trace matrix_walk_trace(std::uint64_t base, std::size_t rows, std::size_t cols,
+                        int elem_bytes, std::size_t repetitions) {
+  Trace t;
+  t.reserve(repetitions * rows * cols * 2);
+  const std::uint64_t pitch =
+      static_cast<std::uint64_t>(cols) * static_cast<std::uint64_t>(elem_bytes);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        t.append(base + r * pitch + c * static_cast<std::uint64_t>(elem_bytes),
+                 AccessKind::read);
+    for (std::size_t c = 0; c < cols; ++c)
+      for (std::size_t r = 0; r < rows; ++r)
+        t.append(base + r * pitch + c * static_cast<std::uint64_t>(elem_bytes),
+                 AccessKind::read);
+  }
+  return t;
+}
+
+Trace random_trace(std::uint64_t base, std::size_t blocks, int block_bytes,
+                   std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> pick(0, blocks - 1);
+  Trace t;
+  t.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    t.append(base + pick(rng) * static_cast<std::uint64_t>(block_bytes),
+             AccessKind::read);
+  return t;
+}
+
+}  // namespace xoridx::trace

@@ -1,0 +1,43 @@
+// Synthetic access-pattern generators.
+//
+// These produce the canonical conflict-miss patterns from the literature
+// the paper builds on (Rau 1991: strides; Gonzalez et al. 1997: matrix
+// walks) and are used by unit tests and ablation benches. The realistic
+// application traces live in src/workloads/.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "trace/trace.hpp"
+
+namespace xoridx::trace {
+
+/// `count` reads starting at `base`, separated by `stride_bytes`.
+/// A stride of 2^(m + offset_bits) bytes maps every reference to one set
+/// of a conventionally indexed cache: the worst conflict case.
+[[nodiscard]] Trace stride_trace(std::uint64_t base, std::uint64_t stride_bytes,
+                                 std::size_t count);
+
+/// Repeatedly walk `vectors` arrays of `elems` elements round-robin
+/// (a[i], b[i], c[i], ...), as in vector additions / dot products. When
+/// the array bases are separated by a multiple of the cache size this
+/// thrashes a direct-mapped cache on every reference.
+[[nodiscard]] Trace interleaved_arrays_trace(std::uint64_t base,
+                                             std::uint64_t array_gap_bytes,
+                                             int vectors, std::size_t elems,
+                                             int elem_bytes,
+                                             std::size_t repetitions);
+
+/// Row-major walk of a `rows` x `cols` matrix followed by a column-major
+/// walk; the column walk strides by the row pitch.
+[[nodiscard]] Trace matrix_walk_trace(std::uint64_t base, std::size_t rows,
+                                      std::size_t cols, int elem_bytes,
+                                      std::size_t repetitions);
+
+/// Uniformly random reads over a region of `blocks` blocks.
+[[nodiscard]] Trace random_trace(std::uint64_t base, std::size_t blocks,
+                                 int block_bytes, std::size_t count,
+                                 std::uint64_t seed);
+
+}  // namespace xoridx::trace

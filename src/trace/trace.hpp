@@ -1,0 +1,70 @@
+// Memory access traces and their summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/access.hpp"
+
+namespace xoridx::trace {
+
+/// Aggregate statistics of a trace.
+struct TraceStats {
+  std::uint64_t references = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t distinct_blocks = 0;  ///< footprint at the given block size
+  std::uint64_t min_addr = 0;
+  std::uint64_t max_addr = 0;
+};
+
+/// An ordered sequence of memory references. This is the single input to
+/// both the profiling phase (paper Section 3.1) and cache simulation.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Access> accesses)
+      : accesses_(std::move(accesses)) {}
+
+  void append(Access a) { accesses_.push_back(a); }
+  void append(std::uint64_t addr, AccessKind kind) {
+    accesses_.push_back({addr, kind});
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return accesses_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return accesses_.empty(); }
+  [[nodiscard]] const Access& operator[](std::size_t i) const {
+    return accesses_[i];
+  }
+  [[nodiscard]] std::span<const Access> accesses() const noexcept {
+    return accesses_;
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return accesses_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return accesses_.end(); }
+
+  void reserve(std::size_t n) { accesses_.reserve(n); }
+  void clear() { accesses_.clear(); }
+
+  /// Statistics at a given block size (block_offset_bits = log2 of the
+  /// block size in bytes; the paper uses 4-byte blocks, i.e. 2).
+  [[nodiscard]] TraceStats stats(int block_offset_bits) const;
+
+  /// The sequence of block addresses (addr >> block_offset_bits).
+  [[nodiscard]] std::vector<std::uint64_t> block_addresses(
+      int block_offset_bits) const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::vector<Access> accesses_;
+};
+
+/// Keep only references of the given kinds (e.g. the data side of a
+/// unified trace for a split data cache).
+[[nodiscard]] Trace filter_kinds(const Trace& t, bool keep_reads,
+                                 bool keep_writes, bool keep_fetches);
+
+}  // namespace xoridx::trace

@@ -1,0 +1,78 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace xoridx::trace {
+namespace {
+
+constexpr std::array<char, 8> magic = {'X', 'O', 'R', 'I', 'D', 'X', 'T', '1'};
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  std::array<unsigned char, 8> buf;
+  for (int i = 0; i < 8; ++i) buf[static_cast<std::size_t>(i)] =
+      static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  os.write(reinterpret_cast<const char*>(buf.data()), 8);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::array<unsigned char, 8> buf;
+  is.read(reinterpret_cast<char*>(buf.data()), 8);
+  if (!is) throw std::runtime_error("trace stream truncated");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | buf[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& t) {
+  os.write(magic.data(), static_cast<std::streamsize>(magic.size()));
+  put_u64(os, t.size());
+  for (const Access& a : t) {
+    put_u64(os, a.addr);
+    const char kind = static_cast<char>(a.kind);
+    os.write(&kind, 1);
+  }
+  if (!os) throw std::runtime_error("trace write failed");
+}
+
+Trace read_trace(std::istream& is) {
+  std::array<char, 8> got;
+  is.read(got.data(), static_cast<std::streamsize>(got.size()));
+  if (!is || std::memcmp(got.data(), magic.data(), magic.size()) != 0)
+    throw std::runtime_error("bad trace magic");
+  const std::uint64_t count = get_u64(is);
+  std::vector<Access> accesses;
+  accesses.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Access a;
+    a.addr = get_u64(is);
+    char kind = 0;
+    is.read(&kind, 1);
+    if (!is) throw std::runtime_error("trace stream truncated");
+    if (kind < 0 || kind > 2) throw std::runtime_error("bad access kind");
+    a.kind = static_cast<AccessKind>(kind);
+    accesses.push_back(a);
+  }
+  return Trace(std::move(accesses));
+}
+
+void save_trace(const std::string& path, const Trace& t) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_trace(os, t);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_trace(is);
+}
+
+}  // namespace xoridx::trace

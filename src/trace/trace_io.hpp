@@ -1,0 +1,23 @@
+// Binary serialization of traces.
+//
+// Format: 8-byte magic "XORIDXT1", uint64 count, then per access a
+// little-endian uint64 address and a uint8 kind. Compact enough for the
+// laptop-scale traces this study uses, with a version byte in the magic
+// for forward evolution.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace xoridx::trace {
+
+void write_trace(std::ostream& os, const Trace& t);
+[[nodiscard]] Trace read_trace(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const Trace& t);
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace xoridx::trace

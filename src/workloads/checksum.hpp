@@ -1,0 +1,22 @@
+// FNV-1a checksum helpers for workload golden tests.
+#pragma once
+
+#include <cstdint>
+
+namespace xoridx::workloads {
+
+inline constexpr std::uint64_t fnv_offset = 1469598103934665603ull;
+inline constexpr std::uint64_t fnv_prime = 1099511628211ull;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h,
+                                            std::uint64_t byte) noexcept {
+  return (h ^ (byte & 0xffu)) * fnv_prime;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_word(std::uint64_t h,
+                                                 std::uint64_t word) noexcept {
+  for (int i = 0; i < 8; ++i) h = fnv1a(h, word >> (8 * i));
+  return h;
+}
+
+}  // namespace xoridx::workloads

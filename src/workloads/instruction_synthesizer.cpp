@@ -1,0 +1,63 @@
+#include "workloads/instruction_synthesizer.hpp"
+
+#include <stdexcept>
+
+namespace xoridx::workloads {
+
+int InstructionSynthesizer::add_function(std::string name,
+                                         std::uint32_t instructions) {
+  if (instructions == 0)
+    throw std::invalid_argument("function must have at least 1 instruction");
+  Function f;
+  f.name = std::move(name);
+  f.base = cursor_;
+  f.instructions = instructions;
+  cursor_ += 4ull * instructions;
+  functions_.push_back(std::move(f));
+  return static_cast<int>(functions_.size()) - 1;
+}
+
+int InstructionSynthesizer::add_function_at(std::string name,
+                                            std::uint32_t instructions,
+                                            std::uint64_t address) {
+  if (address < cursor_)
+    throw std::invalid_argument("address behind layout cursor");
+  cursor_ = address;
+  return add_function(std::move(name), instructions);
+}
+
+void InstructionSynthesizer::call(int fn) { loop(fn, 1); }
+
+void InstructionSynthesizer::loop(int fn, std::uint64_t iterations) {
+  const Function& f = functions_.at(static_cast<std::size_t>(fn));
+  emit_range(f.base, f.instructions, iterations);
+}
+
+void InstructionSynthesizer::block(int fn, std::uint32_t offset,
+                                   std::uint32_t length,
+                                   std::uint64_t iterations) {
+  const Function& f = functions_.at(static_cast<std::size_t>(fn));
+  if (offset + length > f.instructions)
+    throw std::out_of_range("basic block outside function body");
+  emit_range(f.base + 4ull * offset, length, iterations);
+}
+
+void InstructionSynthesizer::emit_range(std::uint64_t base,
+                                        std::uint32_t count,
+                                        std::uint64_t iterations) {
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    for (std::uint32_t i = 0; i < count; ++i)
+      trace_.append(base + 4ull * i, trace::AccessKind::fetch);
+    emitted_ += count;
+  }
+}
+
+std::uint64_t InstructionSynthesizer::function_base(int fn) const {
+  return functions_.at(static_cast<std::size_t>(fn)).base;
+}
+
+std::uint32_t InstructionSynthesizer::function_size(int fn) const {
+  return functions_.at(static_cast<std::size_t>(fn)).instructions;
+}
+
+}  // namespace xoridx::workloads

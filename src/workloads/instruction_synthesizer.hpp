@@ -1,0 +1,79 @@
+// Instruction-fetch trace synthesis (DESIGN.md substitution 2).
+//
+// We cannot trace the host's instruction fetch, so each workload carries a
+// *program skeleton*: functions with code sizes placed sequentially in a
+// code segment (4 bytes per instruction, as on ARM), plus a call/loop
+// script mirroring the kernel's phase structure. Executing the script
+// emits the fetch-address stream: sequential within a body, jumping
+// between functions on calls. Hot functions whose address ranges collide
+// modulo the cache size conflict in a direct-mapped I-cache — the
+// phenomenon Table 2's instruction-cache half measures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace xoridx::workloads {
+
+class InstructionSynthesizer {
+ public:
+  explicit InstructionSynthesizer(std::uint64_t code_base = 0x100000)
+      : cursor_(code_base) {}
+
+  /// Place a function of `instructions` 4-byte instructions at the current
+  /// layout cursor; returns its id.
+  int add_function(std::string name, std::uint32_t instructions);
+
+  /// Leave a hole in the layout (cold code, other modules).
+  void add_gap(std::uint32_t instructions) { cursor_ += 4ull * instructions; }
+
+  /// Place a function at an absolute address at or after the cursor.
+  /// Used to realize the collision layouts of DESIGN.md substitution 2:
+  /// a helper at +S bytes from a hot loop conflicts with it in every
+  /// direct-mapped cache of size dividing S.
+  int add_function_at(std::string name, std::uint32_t instructions,
+                      std::uint64_t address);
+
+  /// Fetch the whole body once (straight-line execution).
+  void call(int fn);
+
+  /// Fetch the whole body `iterations` times (the body is a loop).
+  void loop(int fn, std::uint64_t iterations);
+
+  /// Fetch `length` instructions starting at instruction `offset` of `fn`
+  /// (one basic block), `iterations` times.
+  void block(int fn, std::uint32_t offset, std::uint32_t length,
+             std::uint64_t iterations = 1);
+
+  [[nodiscard]] std::uint64_t instructions_emitted() const noexcept {
+    return emitted_;
+  }
+
+  [[nodiscard]] const trace::Trace& fetch_trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] trace::Trace take_trace() { return std::move(trace_); }
+
+  [[nodiscard]] std::uint64_t function_base(int fn) const;
+  [[nodiscard]] std::uint32_t function_size(int fn) const;
+
+ private:
+  struct Function {
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint32_t instructions = 0;
+  };
+
+  void emit_range(std::uint64_t base, std::uint32_t count,
+                  std::uint64_t iterations);
+
+  std::uint64_t cursor_;
+  std::uint64_t emitted_ = 0;
+  std::vector<Function> functions_;
+  trace::Trace trace_;
+};
+
+}  // namespace xoridx::workloads

@@ -1,0 +1,40 @@
+// MediaBench-derived kernels (Lee et al., MICRO 1997): jpeg encode/decode,
+// lame (MP3 polyphase filterbank + subband transform), mpeg2 decode
+// (IDCT + motion compensation).
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/traced_memory.hpp"
+
+namespace xoridx::workloads {
+
+/// Baseline-JPEG-style encoder: 8x8 fixed-point DCT, standard luminance
+/// quantization, zigzag and run-length entropy coding of a synthetic
+/// scene. Checksum: FNV of the code stream.
+std::uint64_t run_jpeg_enc(TraceContext& ctx, int width, int height);
+
+/// Matching decoder over the stream the encoder produces for the same
+/// scene. Checksum: FNV of the reconstructed pixels.
+std::uint64_t run_jpeg_dec(TraceContext& ctx, int width, int height);
+
+/// Number of bytes the encoder emits for the deterministic scene; also
+/// the amount the decoder consumes (used by tests).
+std::uint64_t jpeg_stream_bytes(int width, int height);
+
+/// Round-trip fidelity helper for tests: mean absolute error between the
+/// synthetic scene and decode(encode(scene)). Untraced.
+double jpeg_roundtrip_mae(int width, int height);
+
+/// MP3-encoder front end: 512-tap windowed polyphase filterbank into 32
+/// subbands (the hot loop of lame/mpg123). Checksum: quantized subband
+/// energy.
+std::uint64_t run_lame(TraceContext& ctx, int granules);
+
+/// MPEG-2 decoder core: per macroblock, 8x8 IDCT of synthetic coefficient
+/// blocks plus motion-compensated prediction from a reference frame.
+/// Checksum: FNV of the reconstructed frame.
+std::uint64_t run_mpeg2_dec(TraceContext& ctx, int width, int height,
+                            int frames);
+
+}  // namespace xoridx::workloads

@@ -1,0 +1,44 @@
+// MiBench-derived kernels (Guthaus et al., WWC 2001): dijkstra, fft,
+// susan, rijndael, adpcm. Each runs the real algorithm against traced
+// memory and returns a checksum used by golden tests.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/traced_memory.hpp"
+
+namespace xoridx::workloads {
+
+/// Repeated single-source shortest paths on a dense adjacency matrix with
+/// the O(V^2) scan of MiBench's dijkstra_large. Checksum: sum of final
+/// distances over all sources.
+std::uint64_t run_dijkstra(TraceContext& ctx, int nodes, int sources);
+
+/// Iterative radix-2 decimation-in-time FFT over `1 << log2n` complex
+/// points (separate re/im float arrays, table twiddles), `rounds` fresh
+/// signals. Checksum: quantized energy of the last spectrum.
+std::uint64_t run_fft(TraceContext& ctx, int log2n, int rounds);
+
+/// SUSAN-style brightness-similarity smoothing with the 37-point circular
+/// mask and a 516-entry similarity LUT. Checksum: FNV of output pixels.
+std::uint64_t run_susan(TraceContext& ctx, int width, int height);
+
+/// AES-128 ECB encryption with the four 1-KB T-tables (the MiBench
+/// rijndael configuration). Checksum: FNV of the ciphertext.
+std::uint64_t run_rijndael(TraceContext& ctx, int blocks);
+
+/// Untraced AES-128 single-block encryption for test vectors (FIPS-197).
+void aes128_encrypt_block_reference(const std::uint8_t key[16],
+                                    const std::uint8_t in[16],
+                                    std::uint8_t out[16]);
+
+/// IMA ADPCM encoder (16-bit PCM -> 4-bit codes). Checksum: FNV of the
+/// code stream. The PCM input is a deterministic multi-tone signal.
+std::uint64_t run_adpcm_enc(TraceContext& ctx, int samples);
+
+/// IMA ADPCM decoder (4-bit codes -> 16-bit PCM), decoding the stream the
+/// encoder produces for the same deterministic signal. Checksum: FNV of
+/// the reconstructed PCM.
+std::uint64_t run_adpcm_dec(TraceContext& ctx, int samples);
+
+}  // namespace xoridx::workloads

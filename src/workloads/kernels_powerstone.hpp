@@ -1,0 +1,84 @@
+// PowerStone-derived kernels (Scott et al., Power Driven
+// Microarchitecture Workshop 1998): the 14 short embedded programs of
+// Table 3. adpcm and jpeg reuse the MiBench/MediaBench kernels at
+// PowerStone scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/traced_memory.hpp"
+
+namespace xoridx::workloads {
+
+/// bcnt: population count of a buffer via a 256-entry nibble-pair LUT.
+/// Checksum: total bit count over all passes.
+std::uint64_t run_bcnt(TraceContext& ctx, int buffer_bytes, int passes);
+
+/// blit: bit-aligned rectangle copy between two word bitmaps (shift and
+/// merge per word, as in classic bitblt). Checksum: FNV of the
+/// destination bitmap.
+std::uint64_t run_blit(TraceContext& ctx, int width_words, int height,
+                       int shift_bits, int passes);
+
+/// compress: LZW with an open-addressing hash dictionary (the UNIX
+/// compress structure). Checksum: FNV of the emitted code stream.
+std::uint64_t run_compress(TraceContext& ctx, int input_bytes);
+
+/// Untraced LZW decode used by round-trip tests; decodes the code stream
+/// `run_compress` produces for the same deterministic input.
+std::vector<std::uint8_t> lzw_decompress_reference(
+    const std::vector<std::uint16_t>& codes);
+
+/// The deterministic compress/v42 test input.
+std::vector<std::uint8_t> compress_test_input(int bytes);
+
+/// The code stream compress emits for the deterministic input (untraced).
+std::vector<std::uint16_t> compress_reference_codes(int input_bytes);
+
+/// crc: table-driven CRC-32 (IEEE 802.3) over a buffer, several passes.
+/// Checksum: final CRC value.
+std::uint64_t run_crc(TraceContext& ctx, int buffer_bytes, int passes);
+
+/// Untraced CRC-32 for known-answer tests.
+std::uint32_t crc32_reference(const std::uint8_t* data, std::size_t len);
+
+/// des: full 16-round DES (FIPS 46-3) in ECB over `blocks` 8-byte blocks,
+/// S-boxes in traced memory. Checksum: FNV of the ciphertext.
+std::uint64_t run_des(TraceContext& ctx, int blocks);
+
+/// Untraced single-block DES for test vectors. `decrypt` reverses the
+/// subkey order.
+std::uint64_t des_block_reference(std::uint64_t key, std::uint64_t block,
+                                  bool decrypt);
+
+/// engine: engine-controller spark/fuel calculation — bilinear
+/// interpolation in 16x16 rpm x load calibration maps per sensor sample.
+/// Checksum: accumulated control outputs.
+std::uint64_t run_engine(TraceContext& ctx, int samples);
+
+/// fir: 64-tap FIR filter over a synthetic signal. Checksum: accumulated
+/// quantized output.
+std::uint64_t run_fir(TraceContext& ctx, int taps, int samples);
+
+/// g3fax: CCITT Group-3-style run-length decode of fax scan lines into a
+/// bit-packed page buffer. Checksum: FNV of the page.
+std::uint64_t run_g3fax(TraceContext& ctx, int line_bits, int lines);
+
+/// pocsag: POCSAG pager decode — deinterleave, BCH(31,21) syndrome lookup
+/// and message assembly. Checksum: FNV of decoded message words.
+std::uint64_t run_pocsag(TraceContext& ctx, int batches);
+
+/// qurt: quadratic root extraction over a small coefficient set (integer
+/// Newton square roots). Checksum: accumulated roots.
+std::uint64_t run_qurt(TraceContext& ctx, int equations);
+
+/// ucbqsort: the Berkeley qsort on an integer array (explicit stack).
+/// Checksum: FNV of the sorted array.
+std::uint64_t run_ucbqsort(TraceContext& ctx, int elements);
+
+/// v42: V.42bis-style dictionary compression with a linked-sibling trie.
+/// Checksum: FNV of the emitted codes.
+std::uint64_t run_v42(TraceContext& ctx, int input_bytes);
+
+}  // namespace xoridx::workloads

@@ -1,0 +1,22 @@
+// Per-workload program skeletons: instruction-fetch traces and executed
+// instruction (uop) counts. See DESIGN.md substitution 2 for why these are
+// synthesized rather than captured.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "trace/trace.hpp"
+
+namespace xoridx::workloads {
+
+struct SkeletonTrace {
+  trace::Trace fetches;
+  std::uint64_t instructions = 0;
+};
+
+/// Instruction trace for a workload by name (the registry names of
+/// workload.hpp). Throws std::invalid_argument for unknown names.
+[[nodiscard]] SkeletonTrace synthesize_instructions(std::string_view name);
+
+}  // namespace xoridx::workloads

@@ -1,0 +1,173 @@
+// Instrumented memory for workload kernels.
+//
+// The paper traces MediaBench/MiBench/PowerStone binaries with the
+// PowerAnalyzer ARM simulator. Offline we substitute instrumented C++
+// kernels: every array element access goes through TracedArray, which
+// records a read/write at a realistic virtual address into the workload's
+// data trace while computing the real value, so traces come from genuine
+// executions (see DESIGN.md, substitution 1).
+//
+// Addresses come from a deterministic bump allocator (AddressSpace), so
+// array placement — and therefore the conflict structure the paper
+// optimizes — is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace xoridx::workloads {
+
+/// Deterministic bump allocator for workload data segments.
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint64_t base = 0x10000) : next_(base) {}
+
+  /// Reserve `bytes` aligned to `alignment` (default: 4-byte words, the
+  /// paper's block size).
+  std::uint64_t allocate(std::uint64_t bytes, std::uint64_t alignment = 4) {
+    next_ = (next_ + alignment - 1) & ~(alignment - 1);
+    const std::uint64_t addr = next_;
+    next_ += bytes;
+    return addr;
+  }
+
+  /// Skip ahead, e.g. to model unrelated globals between arrays.
+  void pad(std::uint64_t bytes) { next_ += bytes; }
+
+  /// Move the cursor to an absolute address (must not go backwards);
+  /// used to model a buffer landing a fixed distance past some segment,
+  /// the layouts that produce cache-size-periodic aliasing.
+  void place_at(std::uint64_t addr) {
+    if (addr < next_) throw std::invalid_argument("place_at behind cursor");
+    next_ = addr;
+  }
+
+  [[nodiscard]] std::uint64_t cursor() const noexcept { return next_; }
+
+ private:
+  std::uint64_t next_;
+};
+
+/// Everything a kernel needs: the address space and the data trace sink.
+struct TraceContext {
+  AddressSpace space;
+  trace::Trace data;
+
+  explicit TraceContext(std::uint64_t base = 0x10000) : space(base) {}
+};
+
+/// Alignment for separately-allocated heap buffers and I/O chunk
+/// buffers: real allocators hand out large blocks page-aligned, which is
+/// the main source of the inter-array aliasing the paper's XOR functions
+/// remove.
+inline constexpr std::uint64_t page_alignment = 4096;
+
+/// An array whose element accesses are recorded in the data trace.
+///
+/// Loads of multi-word elements record one access per 4-byte word, like
+/// the 32-bit SA-110 target would issue. `alignment` 0 means natural
+/// (word / element size) alignment, giving the packed consecutive layout
+/// of .rodata/.bss; pass page_alignment for heap-style placement.
+template <typename T>
+class TracedArray {
+ public:
+  TracedArray(TraceContext& ctx, std::size_t count,
+              std::uint64_t alignment = 0)
+      : ctx_(ctx),
+        base_(ctx.space.allocate(count * sizeof(T),
+                                 alignment != 0  ? alignment
+                                 : sizeof(T) < 4 ? 4
+                                                 : sizeof(T))),
+        values_(count) {}
+
+  TracedArray(TraceContext& ctx, std::vector<T> init,
+              std::uint64_t alignment = 0)
+      : ctx_(ctx),
+        base_(ctx.space.allocate(init.size() * sizeof(T),
+                                 alignment != 0  ? alignment
+                                 : sizeof(T) < 4 ? 4
+                                                 : sizeof(T))),
+        values_(std::move(init)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] std::uint64_t base_address() const noexcept { return base_; }
+
+  /// Recorded load.
+  [[nodiscard]] T read(std::size_t i) const {
+    record(i, trace::AccessKind::read);
+    return values_[i];
+  }
+
+  /// Recorded store.
+  void write(std::size_t i, T value) {
+    record(i, trace::AccessKind::write);
+    values_[i] = value;
+  }
+
+  /// Untraced access for test assertions and result checksums.
+  [[nodiscard]] const T& peek(std::size_t i) const { return values_[i]; }
+  void poke(std::size_t i, T value) { values_[i] = value; }
+
+  /// Proxy giving natural a[i] syntax with read/write recording.
+  class Ref {
+   public:
+    Ref(TracedArray& arr, std::size_t i) : arr_(arr), i_(i) {}
+    operator T() const { return arr_.read(i_); }  // NOLINT(google-explicit-constructor)
+    Ref& operator=(T v) {
+      arr_.write(i_, v);
+      return *this;
+    }
+    Ref& operator=(const Ref& other) {  // a[i] = b[j]
+      arr_.write(i_, static_cast<T>(other));
+      return *this;
+    }
+    Ref& operator+=(T v) { return *this = static_cast<T>(*this) + v; }
+    Ref& operator-=(T v) { return *this = static_cast<T>(*this) - v; }
+    Ref& operator^=(T v) { return *this = static_cast<T>(*this) ^ v; }
+
+   private:
+    TracedArray& arr_;
+    std::size_t i_;
+  };
+
+  Ref operator[](std::size_t i) { return Ref(*this, i); }
+  T operator[](std::size_t i) const { return read(i); }
+
+ private:
+  void record(std::size_t i, trace::AccessKind kind) const {
+    if (i >= values_.size()) throw std::out_of_range("TracedArray index");
+    const std::uint64_t addr = base_ + i * sizeof(T);
+    const std::size_t words = sizeof(T) <= 4 ? 1 : (sizeof(T) + 3) / 4;
+    for (std::size_t w = 0; w < words; ++w)
+      ctx_.data.append(addr + 4 * w, kind);
+  }
+
+  TraceContext& ctx_;
+  std::uint64_t base_;
+  std::vector<T> values_;
+};
+
+/// Untraced array with the TracedArray interface, so kernel logic can be
+/// written once as a template and run either traced (workload build) or
+/// plain (reference results for round-trip tests, inputs precomputed
+/// outside the traced region).
+template <typename T>
+class PlainArray {
+ public:
+  explicit PlainArray(std::size_t count) : values_(count) {}
+  explicit PlainArray(std::vector<T> init) : values_(std::move(init)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] T read(std::size_t i) const { return values_.at(i); }
+  void write(std::size_t i, T value) { values_.at(i) = value; }
+  [[nodiscard]] const T& peek(std::size_t i) const { return values_[i]; }
+  void poke(std::size_t i, T value) { values_[i] = value; }
+
+ private:
+  std::vector<T> values_;
+};
+
+}  // namespace xoridx::workloads

@@ -1,0 +1,219 @@
+// Tests for the extension modules: subspace enumeration, optimal XOR
+// search, function serialization and the Figure-2(b) selector
+// configuration.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "cache/simulate.hpp"
+#include "gf2/counting.hpp"
+#include "gf2/enumerate.hpp"
+#include "gf2/subspace.hpp"
+#include "hash/bit_select_function.hpp"
+#include "hash/configuration.hpp"
+#include "hash/serialize.hpp"
+#include "search/exhaustive_xor.hpp"
+#include "search/subspace_search.hpp"
+#include "trace/generators.hpp"
+
+namespace xoridx {
+namespace {
+
+using gf2::Subspace;
+using gf2::Word;
+
+// ---------------------------------------------------------------------------
+// Subspace enumeration
+// ---------------------------------------------------------------------------
+
+TEST(Enumerate, CountsMatchGaussianBinomial) {
+  for (int n = 1; n <= 6; ++n) {
+    for (int d = 0; d <= n; ++d) {
+      std::uint64_t count = 0;
+      gf2::for_each_subspace(n, d,
+                             [&](std::span<const Word>) { ++count; });
+      EXPECT_EQ(count, gf2::gaussian_binomial_exact(n, d))
+          << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(Enumerate, VisitsDistinctSubspaces) {
+  const int n = 5;
+  const int d = 2;
+  std::set<std::size_t> seen;
+  gf2::for_each_subspace(n, d, [&](std::span<const Word> basis) {
+    const Subspace s = Subspace::span_of(n, basis);
+    EXPECT_EQ(s.dim(), d);
+    EXPECT_TRUE(seen.insert(s.hash()).second) << s.to_string();
+  });
+  EXPECT_EQ(seen.size(), gf2::gaussian_binomial_exact(n, d));
+}
+
+TEST(Enumerate, BasesAreIndependent) {
+  gf2::for_each_subspace(6, 3, [&](std::span<const Word> basis) {
+    const Subspace s = Subspace::span_of(6, basis);
+    ASSERT_EQ(s.dim(), 3);
+  });
+}
+
+TEST(Enumerate, ZeroDimension) {
+  int count = 0;
+  gf2::for_each_subspace(4, 0, [&](std::span<const Word> basis) {
+    EXPECT_TRUE(basis.empty());
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Optimal XOR search
+// ---------------------------------------------------------------------------
+
+TEST(OptimalXor, NeverWorseThanHillClimbEstimate) {
+  const cache::CacheGeometry geom(256, 4);  // m = 6
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const trace::Trace t = trace::random_trace(0, 400, 4, 6000, seed);
+    const profile::ConflictProfile p =
+        profile::build_conflict_profile(t, geom, 9);  // n = 9, d = 3
+    const search::SubspaceSearchResult climb =
+        search::search_general_xor(p, geom.index_bits());
+    const search::ExhaustiveXorResult exact =
+        search::optimal_xor_estimated(p, geom.index_bits());
+    EXPECT_LE(exact.estimated_misses, climb.stats.best_estimate)
+        << "seed=" << seed;
+    EXPECT_EQ(exact.candidates, gf2::gaussian_binomial_exact(9, 3));
+  }
+}
+
+TEST(OptimalXor, FindsThePerfectFunctionWhenOneExists) {
+  // Stride pattern fully fixable by folding high bits into the index;
+  // n = 9, d = 3 keeps the exhaustive space at ~789k null spaces.
+  const cache::CacheGeometry geom(256, 4);  // 64 sets
+  trace::Trace t;
+  for (int rep = 0; rep < 10; ++rep)
+    for (std::uint64_t i = 0; i < 8; ++i)
+      t.append(i * 256, trace::AccessKind::read);  // block stride 64
+  const profile::ConflictProfile p = profile::build_conflict_profile(t, geom, 9);
+  const search::ExhaustiveXorResult best =
+      search::optimal_xor_estimated(p, geom.index_bits());
+  const cache::CacheStats sim =
+      cache::simulate_direct_mapped(t, geom, best.function);
+  EXPECT_EQ(sim.misses, 8u);  // compulsory only
+}
+
+TEST(OptimalXor, RefusesHugeDesignSpaces) {
+  const profile::ConflictProfile p(16, 256);
+  EXPECT_THROW(search::optimal_xor_estimated(p, 8), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, PermutationRoundTrip) {
+  std::mt19937_64 rng(7);
+  const hash::PermutationFunction f(16, 8,
+                                    gf2::Matrix::random(8, 8, rng));
+  const std::string text = hash::to_text(f);
+  const auto back = hash::from_text(text);
+  ASSERT_NE(back, nullptr);
+  for (Word x = 0; x < 65536; x += 97) {
+    EXPECT_EQ(back->index(x), f.index(x));
+    EXPECT_EQ(back->tag(x), f.tag(x));
+  }
+}
+
+TEST(Serialize, BitSelectRoundTrip) {
+  const hash::BitSelectFunction f(16, {1, 4, 9, 12, 15});
+  const auto back = hash::from_text(hash::to_text(f));
+  for (Word x = 0; x < 65536; x += 131) EXPECT_EQ(back->index(x), f.index(x));
+}
+
+TEST(Serialize, GeneralXorRoundTrip) {
+  std::mt19937_64 rng(11);
+  const hash::XorFunction f(gf2::Matrix::random_full_rank(12, 7, rng));
+  const auto back = hash::from_text(hash::to_text(f));
+  for (Word x = 0; x < 4096; ++x) {
+    EXPECT_EQ(back->index(x), f.index(x));
+    EXPECT_EQ(back->tag(x), f.tag(x));
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW(hash::from_text("not a function"), std::runtime_error);
+  EXPECT_THROW(hash::from_text("xoridx-function v1\nkind alien\nn 4\nm 2\nend\n"),
+               std::runtime_error);
+  // Row with bits outside the matrix width.
+  EXPECT_THROW(
+      hash::from_text(
+          "xoridx-function v1\nkind permutation\nn 4\nm 2\nrow 0xff\nrow "
+          "0x0\nend\n"),
+      std::runtime_error);
+}
+
+TEST(Serialize, StreamInterface) {
+  const hash::PermutationFunction f = hash::PermutationFunction::conventional(16, 10);
+  std::stringstream ss;
+  hash::write_function(ss, f);
+  const auto back = hash::read_function(ss);
+  EXPECT_EQ(back->index(12345), f.index(12345));
+}
+
+// ---------------------------------------------------------------------------
+// Selector configuration (Figure 2b)
+// ---------------------------------------------------------------------------
+
+TEST(Configuration, ConventionalIsAllZeroSelectors) {
+  const auto f = hash::PermutationFunction::conventional(16, 8);
+  const hash::SelectorConfiguration config = hash::selector_configuration(f);
+  EXPECT_EQ(config.settings, std::vector<int>(8, 0));
+  for (const std::uint8_t byte : config.bitstream) EXPECT_EQ(byte, 0);
+}
+
+TEST(Configuration, SettingsEncodeTaps) {
+  gf2::Matrix g(8, 8);
+  g.set(0, 2, true);  // set[2] = a2 ^ a8
+  g.set(7, 5, true);  // set[5] = a5 ^ a15
+  const hash::PermutationFunction f(16, 8, g);
+  const auto config = hash::selector_configuration(f);
+  EXPECT_EQ(config.settings[2], 1);
+  EXPECT_EQ(config.settings[5], 8);
+  EXPECT_EQ(config.settings[0], 0);
+  EXPECT_EQ(config.bits_per_selector(), 4);  // 1-out-of-9 needs 4 bits
+}
+
+TEST(Configuration, RoundTripThroughHardwareImage) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random 2-in function: at most one tap per column.
+    gf2::Matrix g(8, 8);
+    for (int c = 0; c < 8; ++c) {
+      const auto pick = static_cast<int>(rng() % 9);
+      if (pick > 0) g.set(pick - 1, c, true);
+    }
+    const hash::PermutationFunction f(16, 8, g);
+    const auto config = hash::selector_configuration(f);
+    const hash::PermutationFunction back =
+        hash::function_from_configuration(config);
+    EXPECT_EQ(back.g(), f.g());
+  }
+}
+
+TEST(Configuration, RejectsWideFanIn) {
+  gf2::Matrix g(8, 8);
+  g.set(0, 3, true);
+  g.set(1, 3, true);  // fan-in 3 on index bit 3
+  const hash::PermutationFunction f(16, 8, g);
+  EXPECT_THROW(hash::selector_configuration(f), std::invalid_argument);
+}
+
+TEST(Configuration, HexImageMatchesBitstream) {
+  const auto f = hash::PermutationFunction::conventional(16, 8);
+  const auto config = hash::selector_configuration(f);
+  EXPECT_EQ(config.to_hex().size(), config.bitstream.size() * 2);
+}
+
+}  // namespace
+}  // namespace xoridx

@@ -1,0 +1,470 @@
+// Unit and property tests for the GF(2) linear-algebra kernel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+#include "gf2/counting.hpp"
+#include "gf2/matrix.hpp"
+#include "gf2/subspace.hpp"
+
+namespace xoridx::gf2 {
+namespace {
+
+TEST(BitVec, MaskOf) {
+  EXPECT_EQ(mask_of(0), 0u);
+  EXPECT_EQ(mask_of(1), 1u);
+  EXPECT_EQ(mask_of(8), 0xffu);
+  EXPECT_EQ(mask_of(16), 0xffffu);
+  EXPECT_EQ(mask_of(64), ~Word{0});
+}
+
+TEST(BitVec, Parity) {
+  EXPECT_FALSE(parity(0));
+  EXPECT_TRUE(parity(1));
+  EXPECT_TRUE(parity(0b1000));
+  EXPECT_FALSE(parity(0b1010));
+  EXPECT_TRUE(parity(0xffffffffffffffffull & ~1ull));  // 63 ones
+}
+
+TEST(BitVec, LeadingBit) {
+  EXPECT_EQ(leading_bit(1), 0);
+  EXPECT_EQ(leading_bit(0b1000), 3);
+  EXPECT_EQ(leading_bit(~Word{0}), 63);
+}
+
+TEST(BitVec, ToBitString) {
+  EXPECT_EQ(to_bit_string(0b0101, 4), "0101");
+  EXPECT_EQ(to_bit_string(1, 3), "001");
+}
+
+TEST(Matrix, IdentityActsAsIdentity) {
+  const Matrix id = Matrix::identity(8);
+  for (Word x = 0; x < 256; ++x) EXPECT_EQ(id.apply(x), x);
+}
+
+TEST(Matrix, ApplyIsXorOfSelectedRows) {
+  Matrix h(4, 3);
+  h.set_row(0, 0b001);
+  h.set_row(1, 0b010);
+  h.set_row(2, 0b011);
+  h.set_row(3, 0b111);
+  EXPECT_EQ(h.apply(0b0001), 0b001u);
+  EXPECT_EQ(h.apply(0b0101), 0b010u);          // rows 0 and 2
+  EXPECT_EQ(h.apply(0b1111), (0b001u ^ 0b010u ^ 0b011u ^ 0b111u));
+}
+
+TEST(Matrix, ApplyIgnoresBitsAboveRows) {
+  Matrix h(2, 2);
+  h.set_row(0, 0b01);
+  h.set_row(1, 0b10);
+  EXPECT_EQ(h.apply(0b10101), 0b01u);  // only low 2 bits participate
+}
+
+TEST(Matrix, RankOfIdentity) {
+  EXPECT_EQ(Matrix::identity(6).rank(), 6);
+}
+
+TEST(Matrix, RankOfZeroAndDuplicateRows) {
+  EXPECT_EQ(Matrix(4, 4).rank(), 0);
+  Matrix h(3, 4);
+  h.set_row(0, 0b1010);
+  h.set_row(1, 0b1010);
+  h.set_row(2, 0b0001);
+  EXPECT_EQ(h.rank(), 2);
+}
+
+TEST(Matrix, MultiplicationAssociatesWithApply) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix a = Matrix::random(6, 5, rng);
+    const Matrix b = Matrix::random(5, 4, rng);
+    const Matrix ab = a * b;
+    for (Word x = 0; x < 64; ++x)
+      EXPECT_EQ(ab.apply(x), b.apply(a.apply(x)));
+  }
+}
+
+TEST(Matrix, TransposeInvolution) {
+  std::mt19937_64 rng(8);
+  const Matrix a = Matrix::random(7, 5, rng);
+  EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST(Matrix, ColumnWeightCountsFanIn) {
+  Matrix h(4, 2);
+  h.set(0, 0, true);
+  h.set(2, 0, true);
+  h.set(3, 0, true);
+  h.set(1, 1, true);
+  EXPECT_EQ(h.column_weight(0), 3);
+  EXPECT_EQ(h.column_weight(1), 1);
+  EXPECT_EQ(h.max_column_weight(), 3);
+}
+
+TEST(Matrix, ColumnExtraction) {
+  Matrix h(3, 2);
+  h.set(0, 1, true);
+  h.set(2, 1, true);
+  EXPECT_EQ(h.column(0), 0u);
+  EXPECT_EQ(h.column(1), 0b101u);
+}
+
+TEST(Matrix, VStack) {
+  const Matrix top = Matrix::identity(2);
+  Matrix bottom(1, 2);
+  bottom.set_row(0, 0b11);
+  const Matrix stacked = Matrix::vstack(top, bottom);
+  EXPECT_EQ(stacked.rows(), 3);
+  EXPECT_EQ(stacked.row(0), 0b01u);
+  EXPECT_EQ(stacked.row(1), 0b10u);
+  EXPECT_EQ(stacked.row(2), 0b11u);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  std::mt19937_64 rng(71);
+  for (int trial = 0; trial < 30; ++trial) {
+    Matrix m = Matrix::random(8, 8, rng);
+    while (m.rank() != 8) m = Matrix::random(8, 8, rng);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(m * *inv, Matrix::identity(8));
+    EXPECT_EQ(*inv * m, Matrix::identity(8));
+  }
+}
+
+TEST(Matrix, SingularHasNoInverse) {
+  Matrix m(3, 3);
+  m.set_row(0, 0b011);
+  m.set_row(1, 0b011);
+  m.set_row(2, 0b100);
+  EXPECT_FALSE(m.inverse().has_value());
+  EXPECT_FALSE(Matrix(4, 3).inverse().has_value());  // non-square
+}
+
+TEST(Matrix, SolveRecoversPreimage) {
+  std::mt19937_64 rng(73);
+  Matrix m = Matrix::random(10, 10, rng);
+  while (m.rank() != 10) m = Matrix::random(10, 10, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Word x = rng() & mask_of(10);
+    const Word y = m.apply(x);
+    const auto solved = m.solve(y);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(*solved, x);
+  }
+}
+
+TEST(Matrix, RandomFullRankHasFullRank) {
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix m = Matrix::random_full_rank(10, 7, rng);
+    EXPECT_EQ(m.rank(), 7);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subspace
+// ---------------------------------------------------------------------------
+
+TEST(Subspace, ZeroSubspace) {
+  const Subspace s(8);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(Subspace, InsertAndMembership) {
+  Subspace s(4);
+  EXPECT_TRUE(s.insert(0b1010));
+  EXPECT_TRUE(s.insert(0b0110));
+  EXPECT_FALSE(s.insert(0b1100));  // 1010 ^ 0110: already in span
+  EXPECT_EQ(s.dim(), 2);
+  EXPECT_TRUE(s.contains(0b1100));
+  EXPECT_FALSE(s.contains(0b1000));
+}
+
+TEST(Subspace, CanonicalFormIsBasisIndependent) {
+  // Same subspace from different generating sets must compare equal.
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Subspace s = random_subspace(10, 4, rng);
+    std::vector<Word> mixed;
+    // Random invertible combinations of the basis.
+    const auto& basis = s.basis();
+    for (int k = 0; k < 10; ++k) {
+      Word v = 0;
+      for (Word b : basis)
+        if (rng() & 1) v ^= b;
+      mixed.push_back(v);
+    }
+    for (Word b : basis) mixed.push_back(b);  // ensure full span
+    const Subspace rebuilt = Subspace::span_of(10, mixed);
+    EXPECT_EQ(s, rebuilt);
+    EXPECT_EQ(s.hash(), rebuilt.hash());
+  }
+}
+
+TEST(Subspace, MembersEnumeratesExactlyTheSpan) {
+  Subspace s(5);
+  s.insert(0b00011);
+  s.insert(0b01100);
+  const std::vector<Word> members = s.members();
+  EXPECT_EQ(members.size(), 4u);
+  const std::set<Word> uniq(members.begin(), members.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (Word v : uniq) EXPECT_TRUE(s.contains(v));
+  EXPECT_TRUE(uniq.count(0));
+  EXPECT_TRUE(uniq.count(0b01111));
+}
+
+TEST(Subspace, GrayCodeVisitsEachMemberOnce) {
+  std::mt19937_64 rng(23);
+  const Subspace s = random_subspace(12, 6, rng);
+  std::set<Word> seen;
+  Word prev = 0;
+  bool first = true;
+  s.for_each_member([&](Word v) {
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate member";
+    if (!first) {
+      // Gray property: consecutive members differ by one basis vector.
+      const Word diff = v ^ prev;
+      EXPECT_TRUE(std::find(s.basis().begin(), s.basis().end(), diff) !=
+                  s.basis().end());
+    }
+    prev = v;
+    first = false;
+  });
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Subspace, SumAndIntersectionDimensionFormula) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 12;
+    const Subspace u = random_subspace(n, static_cast<int>(rng() % 7), rng);
+    const Subspace w = random_subspace(n, static_cast<int>(rng() % 7), rng);
+    const Subspace sum = u.sum(w);
+    const Subspace inter = u.intersect(w);
+    EXPECT_EQ(sum.dim() + inter.dim(), u.dim() + w.dim());
+    for (Word b : inter.basis()) {
+      EXPECT_TRUE(u.contains(b));
+      EXPECT_TRUE(w.contains(b));
+    }
+    for (Word b : u.basis()) EXPECT_TRUE(sum.contains(b));
+    for (Word b : w.basis()) EXPECT_TRUE(sum.contains(b));
+  }
+}
+
+TEST(Subspace, IntersectBruteForceAgreement) {
+  std::mt19937_64 rng(37);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 8;
+    const Subspace u = random_subspace(n, 3, rng);
+    const Subspace w = random_subspace(n, 4, rng);
+    const Subspace inter = u.intersect(w);
+    // Brute force over all 256 vectors.
+    Subspace expected(n);
+    for (Word v = 0; v < (Word{1} << n); ++v)
+      if (u.contains(v) && w.contains(v)) expected.insert(v);
+    EXPECT_EQ(inter, expected);
+  }
+}
+
+TEST(Subspace, TriviallyIntersects) {
+  Subspace u(6);
+  u.insert(0b000011);
+  Subspace w(6);
+  w.insert(0b110000);
+  EXPECT_TRUE(u.trivially_intersects(w));
+  w.insert(0b000011);
+  EXPECT_FALSE(u.trivially_intersects(w));
+}
+
+TEST(Subspace, ComplementBasisSpansComplement) {
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 10;
+    const int d = 1 + static_cast<int>(rng() % 8);
+    const Subspace s = random_subspace(n, d, rng);
+    const std::vector<Word> comp = s.complement_basis();
+    EXPECT_EQ(static_cast<int>(comp.size()), n - d);
+    Subspace total = s;
+    for (Word c : comp) EXPECT_TRUE(total.insert(c)) << "not independent";
+    EXPECT_EQ(total.dim(), n);
+  }
+}
+
+TEST(Subspace, ReduceIsCosetCanonical) {
+  std::mt19937_64 rng(43);
+  const Subspace s = random_subspace(12, 5, rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word v = rng() & mask_of(12);
+    const Word r = s.reduce(v);
+    EXPECT_TRUE(s.contains(v ^ r));  // v and r differ by a member
+    // All members of the coset reduce to the same representative.
+    s.for_each_member(
+        [&](Word m) { EXPECT_EQ(s.reduce(v ^ m), r); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Null spaces and reconstruction
+// ---------------------------------------------------------------------------
+
+TEST(NullSpace, DimensionComplementsRank) {
+  std::mt19937_64 rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix h = Matrix::random(10, 6, rng);
+    const Subspace ns = null_space(h);
+    EXPECT_EQ(ns.dim(), 10 - h.rank());
+    for (Word b : ns.basis()) EXPECT_EQ(h.apply(b), 0u);
+  }
+}
+
+TEST(NullSpace, MembershipMatchesKernelExhaustively) {
+  std::mt19937_64 rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix h = Matrix::random(8, 4, rng);
+    const Subspace ns = null_space(h);
+    for (Word x = 0; x < 256; ++x)
+      EXPECT_EQ(ns.contains(x), h.apply(x) == 0) << "x=" << x;
+  }
+}
+
+TEST(NullSpace, ConventionalIndexNullSpace) {
+  // The modulo-2^m function's null space is the span of the high bits
+  // (Section 4: N(T) = span(e_0..e_{m-1}) for the complementary tag).
+  Matrix h(6, 3);
+  for (int i = 0; i < 3; ++i) h.set(i, i, true);
+  const Subspace ns = null_space(h);
+  EXPECT_EQ(ns.dim(), 3);
+  EXPECT_TRUE(ns.contains(0b111000));
+  EXPECT_FALSE(ns.contains(0b000111));
+}
+
+TEST(NullSpace, MatrixReconstructionRoundTrip) {
+  std::mt19937_64 rng(59);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 10;
+    const int d = static_cast<int>(rng() % 8);
+    const Subspace ns = random_subspace(n, d, rng);
+    const Matrix h = matrix_from_null_space(ns);
+    EXPECT_EQ(h.rows(), n);
+    EXPECT_EQ(h.cols(), n - d);
+    EXPECT_EQ(h.rank(), n - d);
+    EXPECT_EQ(null_space(h), ns);
+  }
+}
+
+TEST(NullSpace, SameNullSpaceSameConflicts) {
+  // Eq. 2: functions with equal null spaces alias exactly the same
+  // address pairs.
+  std::mt19937_64 rng(61);
+  const Matrix h1 = Matrix::random_full_rank(8, 5, rng);
+  // h2: h1 with columns mixed by an invertible 5x5 matrix.
+  Matrix mix(5, 5);
+  do {
+    mix = Matrix::random(5, 5, rng);
+  } while (mix.rank() != 5);
+  const Matrix h2 = h1 * mix;
+  ASSERT_EQ(null_space(h1), null_space(h2));
+  for (Word x = 0; x < 256; ++x)
+    for (Word y = 0; y < 256; ++y)
+      EXPECT_EQ(h1.apply(x) == h1.apply(y), h2.apply(x) == h2.apply(y));
+}
+
+// ---------------------------------------------------------------------------
+// Counting (Eq. 3)
+// ---------------------------------------------------------------------------
+
+TEST(Counting, GaussianBinomialSmallValues) {
+  EXPECT_EQ(gaussian_binomial_exact(1, 1), 1u);
+  EXPECT_EQ(gaussian_binomial_exact(2, 1), 3u);
+  EXPECT_EQ(gaussian_binomial_exact(3, 1), 7u);
+  EXPECT_EQ(gaussian_binomial_exact(3, 2), 7u);
+  EXPECT_EQ(gaussian_binomial_exact(4, 2), 35u);
+  EXPECT_EQ(gaussian_binomial_exact(5, 2), 155u);
+}
+
+TEST(Counting, GaussianBinomialMatchesBruteForceSubspaceCount) {
+  // Enumerate all subspaces of GF(2)^n of dimension d by spanning every
+  // subset of vectors, for small n.
+  const int n = 4;
+  for (int d = 0; d <= n; ++d) {
+    std::set<std::size_t> seen;
+    std::vector<Subspace> all;
+    // Generate spans of all vector triples (enough to hit every subspace
+    // of dim <= 3) plus the full space.
+    for (Word a = 0; a < 16; ++a)
+      for (Word b = 0; b < 16; ++b)
+        for (Word c = 0; c < 16; ++c) {
+          const std::vector<Word> gens = {a, b, c};
+          Subspace s = Subspace::span_of(n, gens);
+          if (s.dim() != d) continue;
+          bool duplicate = false;
+          for (const Subspace& t : all)
+            if (t == s) {
+              duplicate = true;
+              break;
+            }
+          if (!duplicate) all.push_back(s);
+        }
+    if (d <= 3) {
+      EXPECT_EQ(all.size(), gaussian_binomial_exact(n, d)) << "d=" << d;
+    }
+  }
+}
+
+TEST(Counting, PaperQuotedMagnitudes) {
+  // Section 2: ~3.4e38 matrices and ~6.3e19 null spaces for n=16, m=8.
+  const long double matrices = count_full_rank_matrices(16, 8);
+  const long double spaces = count_null_spaces(16, 8);
+  EXPECT_GT(matrices, 3.3e38L);
+  EXPECT_LT(matrices, 3.5e38L);
+  EXPECT_GT(spaces, 6.2e19L);
+  EXPECT_LT(spaces, 6.4e19L);
+}
+
+TEST(Counting, NullSpaceCountMatchesExactGaussian) {
+  for (int n = 1; n <= 8; ++n)
+    for (int m = 0; m <= n; ++m)
+      EXPECT_NEAR(static_cast<double>(count_null_spaces(n, m)),
+                  static_cast<double>(gaussian_binomial_exact(n, m)),
+                  static_cast<double>(gaussian_binomial_exact(n, m)) * 1e-12)
+          << n << " choose " << m;
+}
+
+TEST(Counting, Binomial) {
+  EXPECT_EQ(binomial_exact(16, 8), 12870u);
+  EXPECT_EQ(binomial_exact(16, 10), 8008u);
+  EXPECT_EQ(binomial_exact(16, 12), 1820u);
+  EXPECT_EQ(binomial_exact(5, 0), 1u);
+  EXPECT_EQ(binomial_exact(5, 5), 1u);
+}
+
+// Property sweep: null space reconstruction across dimensions.
+class NullSpaceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NullSpaceSweep, ReconstructionIsCanonical) {
+  const int d = GetParam();
+  std::mt19937_64 rng(1000 + static_cast<unsigned>(d));
+  const int n = 12;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Subspace ns = random_subspace(n, d, rng);
+    const Matrix h = matrix_from_null_space(ns);
+    EXPECT_EQ(null_space(h), ns);
+    // Identity rows at free positions: reconstruction is stable.
+    const Matrix h2 = matrix_from_null_space(null_space(h));
+    EXPECT_EQ(h, h2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, NullSpaceSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace xoridx::gf2

@@ -1,0 +1,64 @@
+// Golden checksums for the integer-deterministic workload kernels.
+//
+// These values pin down kernel *behaviour*, not just determinism within
+// one run: an accidental change to an algorithm, a table, an input
+// generator or the traced-memory layout shows up here immediately. Only
+// kernels whose results are pure integer arithmetic are pinned;
+// float-table kernels (fft, susan, lame, jpeg, mpeg2) depend on libm
+// rounding and are covered by round-trip and determinism tests instead.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace xoridx::workloads {
+namespace {
+
+const std::map<std::string, std::uint64_t>& golden_small_checksums() {
+  static const std::map<std::string, std::uint64_t> golden = {
+      {"dijkstra", 0xbf3441e6ef3cfcbeull},
+      {"rijndael", 0x4266c7e2bb9f1f1ull},
+      {"adpcm_enc", 0xe1f7789ae16fe0cdull},
+      {"adpcm_dec", 0x2ab7f54f7b9a8ebull},
+      {"adpcm", 0xe1f7789ae16fe0cdull},  // same kernel as adpcm_enc
+      {"bcnt", 0x1030ull},
+      {"blit", 0x7444ca637e344ef5ull},
+      {"compress", 0x184525b5a479a74cull},
+      {"crc", 0x1ca7c5cull},
+      {"des", 0xa19c4d17bb220cbfull},
+      {"engine", 0x94fbb2355d7c0921ull},
+      {"g3fax", 0xbb72837896b14df4ull},
+      {"pocsag", 0x93965f334cb68d38ull},
+      {"qurt", 0x84d8b12ea9d06ccaull},
+      {"ucbqsort", 0x3220e28749d03360ull},
+      {"v42", 0x888964c915b9c053ull},
+  };
+  return golden;
+}
+
+class GoldenSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenSweep, SmallScaleChecksumIsPinned) {
+  const std::string name = GetParam();
+  const Workload w = make_workload(name, Scale::small);
+  EXPECT_EQ(w.checksum, golden_small_checksums().at(name))
+      << name << " kernel behaviour changed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntegerKernels, GoldenSweep,
+    ::testing::Values("dijkstra", "rijndael", "adpcm_enc", "adpcm_dec",
+                      "adpcm", "bcnt", "blit", "compress", "crc", "des",
+                      "engine", "g3fax", "pocsag", "qurt", "ucbqsort",
+                      "v42"));
+
+TEST(Golden, CompressAndV42UseDistinctCorpora) {
+  const Workload compress = make_workload("compress", Scale::small);
+  const Workload v42 = make_workload("v42", Scale::small);
+  EXPECT_NE(compress.checksum, v42.checksum);
+}
+
+}  // namespace
+}  // namespace xoridx::workloads

@@ -1,0 +1,186 @@
+// End-to-end integration tests: the full Table-2/Table-3 pipeline on
+// small-scale workloads, cross-module invariants, and the properties the
+// paper's evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cache/simulate.hpp"
+#include "hash/function_properties.hpp"
+#include "hash/permutation_function.hpp"
+#include "hash/serialize.hpp"
+#include "hash/xor_function.hpp"
+#include "search/exhaustive_bit_select.hpp"
+#include "search/optimizer.hpp"
+#include "workloads/workload.hpp"
+
+namespace xoridx {
+namespace {
+
+using cache::CacheGeometry;
+using search::FunctionClass;
+using workloads::Scale;
+using workloads::Suite;
+
+constexpr int hashed_bits = 16;
+
+// One full pipeline run per (workload, cache size) pair.
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint32_t>> {
+};
+
+TEST_P(PipelineSweep, ProfileSearchSimulate) {
+  const auto& [name, cache_bytes] = GetParam();
+  const workloads::Workload w = workloads::make_workload(name, Scale::small);
+  const CacheGeometry geom(cache_bytes, 4);
+
+  search::OptimizeOptions options;
+  options.search.max_fan_in = 2;
+  options.revert_if_worse = true;
+  const search::OptimizationResult result =
+      search::optimize_index(w.data, geom, options);
+
+  ASSERT_NE(result.function, nullptr);
+  // The revert guard guarantees no regression.
+  EXPECT_LE(result.optimized_misses, result.baseline_misses);
+  // The winning function is realizable on the 2-in hardware.
+  if (!result.reverted) {
+    const auto* perm =
+        dynamic_cast<const hash::PermutationFunction*>(result.function.get());
+    ASSERT_NE(perm, nullptr);
+    EXPECT_LE(perm->max_fan_in(), 2);
+    EXPECT_TRUE(hash::is_permutation_based(perm->to_matrix()));
+  }
+  // Reported misses are reproducible by an independent simulation.
+  const cache::CacheStats resim =
+      cache::simulate_direct_mapped(w.data, geom, *result.function);
+  EXPECT_EQ(resim.misses, result.optimized_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Workloads, PipelineSweep,
+    ::testing::Combine(::testing::Values("dijkstra", "fft", "jpeg_enc",
+                                         "rijndael", "susan", "adpcm_enc",
+                                         "mpeg2_dec"),
+                       ::testing::Values(1024u, 4096u)));
+
+TEST(Pipeline, InstructionCachePipelineRuns) {
+  const workloads::Workload w =
+      workloads::make_workload("dijkstra", Scale::small);
+  const CacheGeometry geom(1024, 4);
+  search::OptimizeOptions options;
+  const search::OptimizationResult result =
+      search::optimize_index(w.fetches, geom, options);
+  EXPECT_EQ(result.accesses, w.fetches.size());
+  EXPECT_GT(result.baseline_misses, 0u);
+}
+
+TEST(Pipeline, OptimizerIsDeterministic) {
+  const workloads::Workload w = workloads::make_workload("fft", Scale::small);
+  const CacheGeometry geom(1024, 4);
+  search::OptimizeOptions options;
+  const auto a = search::optimize_index(w.data, geom, options);
+  const auto b = search::optimize_index(w.data, geom, options);
+  EXPECT_EQ(a.optimized_misses, b.optimized_misses);
+  EXPECT_EQ(a.function->describe(), b.function->describe());
+}
+
+TEST(Pipeline, TunedFunctionSurvivesSerialization) {
+  // Design-time -> deployment handoff: optimize, serialize, parse,
+  // simulate — identical misses.
+  const workloads::Workload w =
+      workloads::make_workload("susan", Scale::small);
+  const CacheGeometry geom(1024, 4);
+  search::OptimizeOptions options;
+  options.search.max_fan_in = 2;
+  const auto tuned = search::optimize_index(w.data, geom, options);
+  const auto reloaded = hash::from_text(hash::to_text(*tuned.function));
+  const cache::CacheStats resim =
+      cache::simulate_direct_mapped(w.data, geom, *reloaded);
+  EXPECT_EQ(resim.misses, tuned.optimized_misses);
+}
+
+TEST(Pipeline, EstimateBoundsHoldAcrossClasses) {
+  // Bit-selecting functions are XOR functions, and permutation-based
+  // functions are XOR functions: with the same profile, the general
+  // search must never end with a worse estimate than its start, and the
+  // conventional start estimate is identical across classes.
+  const workloads::Workload w =
+      workloads::make_workload("dijkstra", Scale::small);
+  const CacheGeometry geom(1024, 4);
+  const profile::ConflictProfile p =
+      profile::build_conflict_profile(w.data, geom, hashed_bits);
+
+  search::OptimizeOptions options;
+  std::uint64_t start = 0;
+  for (const FunctionClass fc :
+       {FunctionClass::bit_select, FunctionClass::permutation,
+        FunctionClass::general_xor}) {
+    options.search.function_class = fc;
+    const auto r =
+        search::optimize_index_with_profile(w.data, geom, p, options);
+    if (start == 0) start = r.stats.start_estimate;
+    EXPECT_EQ(r.stats.start_estimate, start);
+    EXPECT_LE(r.stats.best_estimate, r.stats.start_estimate);
+  }
+}
+
+TEST(Pipeline, ProfileIsSharedAcrossFanInRuns) {
+  // A Table-2 row reuses one profile for 2-in/4-in/16-in; verify the
+  // profile is read-only across runs (same results from a shared
+  // profile as from fresh ones).
+  const workloads::Workload w =
+      workloads::make_workload("adpcm_enc", Scale::small);
+  const CacheGeometry geom(1024, 4);
+  const profile::ConflictProfile p =
+      profile::build_conflict_profile(w.data, geom, hashed_bits);
+  search::OptimizeOptions options;
+  options.search.max_fan_in = 2;
+  const auto shared1 =
+      search::optimize_index_with_profile(w.data, geom, p, options);
+  options.search.max_fan_in = 4;
+  const auto shared2 =
+      search::optimize_index_with_profile(w.data, geom, p, options);
+  options.search.max_fan_in = 2;
+  const auto again =
+      search::optimize_index_with_profile(w.data, geom, p, options);
+  EXPECT_EQ(shared1.optimized_misses, again.optimized_misses);
+  EXPECT_LE(shared2.estimated_misses, shared1.estimated_misses);
+}
+
+TEST(Pipeline, PowerStoneOptBeatsOrTiesHeuristicEverywhere) {
+  // Table 3's defining inequality, on a few small-scale programs.
+  const CacheGeometry geom(4096, 4);
+  for (const char* name : {"bcnt", "crc", "engine"}) {
+    const workloads::Workload w = workloads::make_workload(name, Scale::small);
+    const auto optimal =
+        search::optimal_bit_select(w.data, geom, hashed_bits);
+    const profile::ConflictProfile p =
+        profile::build_conflict_profile(w.data, geom, hashed_bits);
+    search::OptimizeOptions options;
+    options.search.function_class = FunctionClass::bit_select;
+    const auto heuristic =
+        search::optimize_index_with_profile(w.data, geom, p, options);
+    EXPECT_LE(optimal.misses, heuristic.optimized_misses) << name;
+  }
+}
+
+TEST(Pipeline, MissesPerKuopIsFinite) {
+  for (const std::string& name : workloads::workload_names(Suite::table2)) {
+    const workloads::Workload w = workloads::make_workload(name, Scale::small);
+    ASSERT_GT(w.uops, 0u) << name;
+    const CacheGeometry geom(1024, 4);
+    const auto misses =
+        cache::simulate_direct_mapped(
+            w.data, geom,
+            hash::XorFunction::conventional(hashed_bits, geom.index_bits()))
+            .misses;
+    const double density = 1000.0 * static_cast<double>(misses) /
+                           static_cast<double>(w.uops);
+    EXPECT_GE(density, 0.0);
+    EXPECT_LT(density, 1e4);
+  }
+}
+
+}  // namespace
+}  // namespace xoridx

@@ -1,0 +1,146 @@
+// Trace container, I/O and generator tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace xoridx::trace {
+namespace {
+
+TEST(Trace, AppendAndIterate) {
+  Trace t;
+  t.append(0x100, AccessKind::read);
+  t.append({0x104, AccessKind::write});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x100u);
+  EXPECT_EQ(t[1].kind, AccessKind::write);
+  std::size_t count = 0;
+  for (const Access& a : t) {
+    (void)a;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Trace, StatsCountKindsAndFootprint) {
+  Trace t;
+  t.append(0x100, AccessKind::read);
+  t.append(0x101, AccessKind::write);  // same 4-byte block
+  t.append(0x104, AccessKind::fetch);
+  const TraceStats s = t.stats(2);
+  EXPECT_EQ(s.references, 3u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.fetches, 1u);
+  EXPECT_EQ(s.distinct_blocks, 2u);
+  EXPECT_EQ(s.min_addr, 0x100u);
+  EXPECT_EQ(s.max_addr, 0x104u);
+}
+
+TEST(Trace, BlockAddresses) {
+  Trace t;
+  t.append(0, AccessKind::read);
+  t.append(5, AccessKind::read);
+  t.append(8, AccessKind::read);
+  const auto blocks = t.block_addresses(2);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], 0u);
+  EXPECT_EQ(blocks[1], 1u);
+  EXPECT_EQ(blocks[2], 2u);
+}
+
+TEST(Trace, FilterKinds) {
+  Trace t;
+  t.append(0, AccessKind::read);
+  t.append(4, AccessKind::write);
+  t.append(8, AccessKind::fetch);
+  const Trace data = filter_kinds(t, true, true, false);
+  EXPECT_EQ(data.size(), 2u);
+  const Trace inst = filter_kinds(t, false, false, true);
+  EXPECT_EQ(inst.size(), 1u);
+  EXPECT_EQ(inst[0].kind, AccessKind::fetch);
+}
+
+TEST(TraceIo, StreamRoundTrip) {
+  Trace t;
+  for (int i = 0; i < 1000; ++i)
+    t.append(static_cast<std::uint64_t>(i) * 12345,
+             static_cast<AccessKind>(i % 3));
+  std::stringstream ss;
+  write_trace(ss, t);
+  const Trace back = read_trace(ss);
+  EXPECT_EQ(t, back);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xoridx_trace_test.bin")
+          .string();
+  Trace t;
+  t.append(0xdeadbeefull, AccessKind::write);
+  t.append(0x123456789abcull, AccessKind::fetch);
+  save_trace(path, t);
+  const Trace back = load_trace(path);
+  EXPECT_EQ(t, back);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACEFILE";
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncated) {
+  Trace t;
+  t.append(1, AccessKind::read);
+  std::stringstream ss;
+  write_trace(ss, t);
+  std::string content = ss.str();
+  content.resize(content.size() - 3);
+  std::stringstream truncated(content);
+  EXPECT_THROW(read_trace(truncated), std::runtime_error);
+}
+
+TEST(Generators, StrideTrace) {
+  const Trace t = stride_trace(0x1000, 64, 10);
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_EQ(t[0].addr, 0x1000u);
+  EXPECT_EQ(t[9].addr, 0x1000u + 9 * 64);
+}
+
+TEST(Generators, InterleavedArrays) {
+  const Trace t = interleaved_arrays_trace(0, 4096, 3, 4, 4, 2);
+  EXPECT_EQ(t.size(), 2u * 4u * 3u);
+  // Pattern: a[0], b[0], c[0], a[1], ...
+  EXPECT_EQ(t[0].addr, 0u);
+  EXPECT_EQ(t[1].addr, 4096u);
+  EXPECT_EQ(t[2].addr, 8192u);
+  EXPECT_EQ(t[2].kind, AccessKind::write);  // last vector is destination
+  EXPECT_EQ(t[3].addr, 4u);
+}
+
+TEST(Generators, MatrixWalkRowThenColumn) {
+  const Trace t = matrix_walk_trace(0, 2, 3, 4, 1);
+  ASSERT_EQ(t.size(), 12u);
+  EXPECT_EQ(t[0].addr, 0u);   // row walk: (0,0)
+  EXPECT_EQ(t[1].addr, 4u);   // (0,1)
+  EXPECT_EQ(t[6].addr, 0u);   // column walk: (0,0)
+  EXPECT_EQ(t[7].addr, 12u);  // (1,0)
+}
+
+TEST(Generators, RandomTraceDeterministicBySeed) {
+  const Trace a = random_trace(0, 100, 4, 500, 42);
+  const Trace b = random_trace(0, 100, 4, 500, 42);
+  const Trace c = random_trace(0, 100, 4, 500, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace xoridx::trace
