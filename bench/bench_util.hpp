@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "cache/geometry.hpp"
 #include "cache/simulate.hpp"
+#include "engine/report.hpp"
 #include "hash/xor_function.hpp"
 #include "profile/conflict_profile.hpp"
 #include "search/optimizer.hpp"
@@ -15,6 +17,33 @@
 #include "workloads/workload.hpp"
 
 namespace xoridx::bench {
+
+/// Parse a --threads value. Zero, negative or unparsable input yields 0
+/// (= one worker per hardware thread) instead of wrapping to a huge
+/// unsigned count.
+inline unsigned parse_threads(const char* arg) {
+  const int v = std::atoi(arg);
+  return v > 0 ? static_cast<unsigned>(v) : 0u;
+}
+
+/// Streams one stderr line per completed sweep cell, in spec order — the
+/// incremental progress reporting of the serial bench loops, engine-style.
+class ProgressSink final : public engine::ResultSink {
+ public:
+  ProgressSink(const char* tag, std::size_t total)
+      : tag_(tag), total_(total) {}
+  void write(const engine::JobResult& r) override {
+    ++done_;
+    std::fprintf(stderr, "  [%s] %zu/%zu %s %s @ %s done\n", tag_, done_,
+                 total_, r.trace_name.c_str(), r.label.c_str(),
+                 r.geometry.to_string().c_str());
+  }
+
+ private:
+  const char* tag_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+};
 
 /// The paper's cache configurations: direct mapped, 4-byte blocks.
 inline const std::vector<cache::CacheGeometry>& paper_geometries() {

@@ -1,0 +1,128 @@
+// Engine throughput: wall-clock comparison of the serial path
+// (num_threads = 1, jobs executed inline on the calling thread) against
+// the thread-pooled path on the same sweep, with a byte-identity check on
+// the aggregated CSV output.
+//
+// The sweep is the Table-2 shape: W workloads x 3 cache sizes x
+// {baseline, perm-2in, perm-16in} >= 8 configurations. On a host with C
+// cores the parallel path should approach min(C, jobs) x; the acceptance
+// bar is >= 2x on a multi-core host. On a single-core host the engine
+// still must match the serial results exactly — the speedup line then
+// reports ~1x and the binary says so rather than failing.
+//
+//   engine_throughput [--full] [--threads N] [--workloads K]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "engine/campaign.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace {
+
+using namespace xoridx;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Run the campaign once, capturing the streamed CSV for the identity
+/// check. Returns elapsed wall-clock seconds.
+double run_once(engine::Campaign& campaign, unsigned threads,
+                std::string* csv_out) {
+  std::ostringstream os;
+  engine::CsvSink sink(os);
+  engine::CampaignOptions options;
+  options.num_threads = threads;
+  options.sink = &sink;
+  const Clock::time_point start = Clock::now();
+  campaign.run(options);
+  const double elapsed = seconds_since(start);
+  *csv_out = os.str();
+  return elapsed;
+}
+
+engine::SweepSpec make_spec(workloads::Scale scale, std::size_t num_workloads) {
+  engine::SweepSpec spec;
+  spec.geometries = bench::paper_geometries();
+  spec.hashed_bits = bench::paper_hashed_bits;
+  spec.configs = {
+      engine::FunctionConfig::baseline(),
+      engine::FunctionConfig::optimize("perm-2in",
+                                       search::FunctionClass::permutation, 2),
+      engine::FunctionConfig::optimize("perm-16in",
+                                       search::FunctionClass::permutation),
+  };
+  const std::vector<std::string>& names =
+      workloads::workload_names(workloads::Suite::table2);
+  for (std::size_t i = 0; i < names.size() && i < num_workloads; ++i) {
+    workloads::Workload w = workloads::make_workload(names[i], scale);
+    spec.add_trace(w.name, std::move(w.data));
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  unsigned threads = 0;
+  std::size_t num_workloads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = bench::parse_threads(argv[++i]);
+    if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc) {
+      const int v = std::atoi(argv[++i]);
+      if (v > 0) num_workloads = static_cast<std::size_t>(v);
+    }
+  }
+  if (threads == 0) threads = engine::ThreadPool::default_threads();
+  const workloads::Scale scale =
+      full ? workloads::Scale::full : workloads::Scale::small;
+
+  // Serial and parallel campaigns are built separately so neither inherits
+  // the other's warm profile cache.
+  engine::Campaign serial(make_spec(scale, num_workloads));
+  engine::Campaign parallel(make_spec(scale, num_workloads));
+  std::printf("engine throughput: %zu jobs (%zu workloads x %zu geometries "
+              "x %zu configs), %s traces\n",
+              serial.jobs().size(), serial.spec().traces.size(),
+              serial.spec().geometries.size(), serial.spec().configs.size(),
+              full ? "full" : "small");
+  std::printf("hardware threads: %u, parallel run uses %u\n\n",
+              engine::ThreadPool::default_threads(), threads);
+
+  std::string serial_csv;
+  std::string parallel_csv;
+  const double serial_s = run_once(serial, 1, &serial_csv);
+  const double parallel_s = run_once(parallel, threads, &parallel_csv);
+
+  const bool identical = serial_csv == parallel_csv;
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+  std::printf("serial   (1 thread)   %8.3f s\n", serial_s);
+  std::printf("parallel (%2u threads) %8.3f s\n", threads, parallel_s);
+  std::printf("speedup              %8.2fx\n", speedup);
+  std::printf("results identical:   %s\n", identical ? "yes" : "NO");
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel aggregation diverged from the serial run\n");
+    return 1;
+  }
+  if (engine::ThreadPool::default_threads() < 2) {
+    std::printf(
+        "\nnote: single hardware thread — no parallel speedup is possible "
+        "on this host;\nrun on a multi-core machine to see >= 2x.\n");
+    return 0;
+  }
+  if (speedup < 2.0)
+    std::printf("\nwarning: speedup below the 2x acceptance bar.\n");
+  return 0;
+}

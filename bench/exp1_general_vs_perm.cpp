@@ -2,21 +2,35 @@
 // the impact of restricting the design space to permutation-based
 // functions versus general XOR functions, on data-cache miss rates.
 //
+// The (workload × cache size × function class) grid runs as one engine
+// campaign; each cell's null-space search is an independent job sharing
+// the per-(trace, geometry) conflict profile.
+//
 // Paper numbers: general XOR removes 34.6/44.0/26.9 % of misses at
 // 1/4/16 KB; permutation-based functions remove 32.3/43.9/26.7 % — i.e.
 // the restriction costs almost nothing. That near-equality is the shape
 // this bench verifies.
+//
+//   exp1_general_vs_perm [--small] [--threads N]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "engine/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace xoridx;
   using bench::cell;
 
-  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  bool small = false;
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = bench::parse_threads(argv[++i]);
+  }
   const workloads::Scale scale =
       small ? workloads::Scale::small : workloads::Scale::full;
 
@@ -27,33 +41,50 @@ int main(int argc, char** argv) {
   std::printf("%-10s | %6s %6s %7s | %6s %6s %7s\n", "benchmark", "1KB",
               "4KB", "16KB", "1KB", "4KB", "16KB");
 
-  const auto& geoms = bench::paper_geometries();
-  std::vector<double> base_sum(3, 0), gen_removed(3, 0), perm_removed(3, 0);
+  engine::SweepSpec spec;
+  spec.geometries = bench::paper_geometries();
+  spec.hashed_bits = bench::paper_hashed_bits;
+  spec.configs = {
+      engine::FunctionConfig::baseline(),
+      engine::FunctionConfig::optimize("general",
+                                       search::FunctionClass::general_xor),
+      engine::FunctionConfig::optimize("perm",
+                                       search::FunctionClass::permutation),
+  };
+  std::vector<std::uint64_t> uops;
   for (const std::string& name :
        workloads::workload_names(workloads::Suite::table2)) {
-    const workloads::Workload w = workloads::make_workload(name, scale);
-    std::vector<double> gen(3), perm(3);
-    for (std::size_t g = 0; g < geoms.size(); ++g) {
-      const profile::ConflictProfile profile = profile::build_conflict_profile(
-          w.data, geoms[g], bench::paper_hashed_bits);
-      const std::uint64_t base = bench::baseline_misses(w.data, geoms[g]);
-      const std::uint64_t general = bench::optimized_misses(
-          w.data, geoms[g], profile, search::FunctionClass::general_xor);
-      const std::uint64_t permutation = bench::optimized_misses(
-          w.data, geoms[g], profile, search::FunctionClass::permutation);
-      gen[g] = bench::percent_removed(base, general);
-      perm[g] = bench::percent_removed(base, permutation);
-      const double density =
-          bench::misses_per_kuop(base, w.uops);
+    workloads::Workload w = workloads::make_workload(name, scale);
+    uops.push_back(w.uops);
+    spec.add_trace(w.name, std::move(w.data));
+  }
+
+  engine::Campaign campaign(std::move(spec));
+  engine::CampaignOptions options;
+  options.num_threads = threads;
+  bench::ProgressSink progress("exp1", campaign.jobs().size());
+  options.sink = &progress;
+  const std::vector<engine::JobResult> results = campaign.run(options);
+
+  const std::size_t geoms = campaign.spec().geometries.size();
+  std::vector<double> base_sum(geoms, 0), gen_removed(geoms, 0),
+      perm_removed(geoms, 0);
+  for (std::size_t t = 0; t < campaign.spec().traces.size(); ++t) {
+    std::vector<double> gen(geoms), perm(geoms);
+    for (std::size_t g = 0; g < geoms; ++g) {
+      const auto& base = results[campaign.job_index(t, g, 0)];
+      gen[g] = results[campaign.job_index(t, g, 1)].percent_removed();
+      perm[g] = results[campaign.job_index(t, g, 2)].percent_removed();
+      const double density = bench::misses_per_kuop(base.misses, uops[t]);
       base_sum[g] += density;
       gen_removed[g] += density * gen[g] / 100.0;
       perm_removed[g] += density * perm[g] / 100.0;
     }
-    std::printf("%-10s | %s %s %s | %s %s %s\n", w.name.c_str(),
-                cell(gen[0]).c_str(), cell(gen[1]).c_str(),
-                cell(gen[2], 7).c_str(), cell(perm[0]).c_str(),
-                cell(perm[1]).c_str(), cell(perm[2], 7).c_str());
-    std::fprintf(stderr, "  [exp1] %s done\n", name.c_str());
+    std::printf("%-10s | %s %s %s | %s %s %s\n",
+                campaign.spec().traces[t].name.c_str(), cell(gen[0]).c_str(),
+                cell(gen[1]).c_str(), cell(gen[2], 7).c_str(),
+                cell(perm[0]).c_str(), cell(perm[1]).c_str(),
+                cell(perm[2], 7).c_str());
   }
   std::printf("%-10s | %s %s %s | %s %s %s\n", "average",
               cell(100.0 * gen_removed[0] / base_sum[0]).c_str(),

@@ -3,16 +3,24 @@
 // at most 2 (2-in), 4 (4-in) or unlimited (16-in) inputs per XOR, for
 // data caches and instruction caches of 1/4/16 KB.
 //
+// The whole sweep — every (workload, trace side, cache size, fan-in)
+// cell — runs as one engine campaign, so all searches execute
+// concurrently while the aggregation stays in table order.
+//
 // Absolute numbers differ from the paper (synthetic traces, see
 // DESIGN.md); the shape to check is: large average reductions that peak
 // around the mid cache size on data caches, larger reductions on
 // instruction caches, 2-in within a few percent of 16-in, and occasional
 // small negative entries.
+//
+//   table2_xor_functions [--small] [--threads N]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "engine/campaign.hpp"
 
 namespace {
 
@@ -28,23 +36,23 @@ struct Row {
   std::vector<double> in16;
 };
 
-Row evaluate(const workloads::Workload& w, const trace::Trace& t) {
+// Assemble one printed row from the campaign results of one trace.
+Row make_row(const engine::Campaign& campaign,
+             const std::vector<engine::JobResult>& results,
+             std::size_t trace_index, const std::string& name,
+             std::uint64_t uops) {
   Row row;
-  row.name = w.name;
-  for (const cache::CacheGeometry& geom : bench::paper_geometries()) {
-    const profile::ConflictProfile profile =
-        profile::build_conflict_profile(t, geom, bench::paper_hashed_bits);
-    const std::uint64_t base = bench::baseline_misses(t, geom);
-    const std::uint64_t opt2 = bench::optimized_misses(
-        t, geom, profile, search::FunctionClass::permutation, 2);
-    const std::uint64_t opt4 = bench::optimized_misses(
-        t, geom, profile, search::FunctionClass::permutation, 4);
-    const std::uint64_t opt16 = bench::optimized_misses(
-        t, geom, profile, search::FunctionClass::permutation);
-    row.base.push_back(bench::misses_per_kuop(base, w.uops));
-    row.in2.push_back(bench::percent_removed(base, opt2));
-    row.in4.push_back(bench::percent_removed(base, opt4));
-    row.in16.push_back(bench::percent_removed(base, opt16));
+  row.name = name;
+  const std::size_t geoms = campaign.spec().geometries.size();
+  for (std::size_t g = 0; g < geoms; ++g) {
+    const auto& base = results[campaign.job_index(trace_index, g, 0)];
+    const auto& opt2 = results[campaign.job_index(trace_index, g, 1)];
+    const auto& opt4 = results[campaign.job_index(trace_index, g, 2)];
+    const auto& opt16 = results[campaign.job_index(trace_index, g, 3)];
+    row.base.push_back(bench::misses_per_kuop(base.misses, uops));
+    row.in2.push_back(opt2.percent_removed());
+    row.in4.push_back(opt4.percent_removed());
+    row.in16.push_back(opt16.percent_removed());
   }
   return row;
 }
@@ -93,7 +101,13 @@ void print_block(const char* title, const std::vector<Row>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool small = argc > 1 && std::strcmp(argv[1], "--small") == 0;
+  bool small = false;
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = bench::parse_threads(argv[++i]);
+  }
   const workloads::Scale scale =
       small ? workloads::Scale::small : workloads::Scale::full;
 
@@ -103,14 +117,46 @@ int main(int argc, char** argv) {
       "(direct mapped, 4-byte blocks, n = 16; searches per benchmark and "
       "cache size).\n");
 
-  std::vector<Row> data_rows;
-  std::vector<Row> inst_rows;
+  // One campaign: both trace sides of every workload, all geometries,
+  // baseline + three fan-in limits.
+  engine::SweepSpec spec;
+  spec.geometries = bench::paper_geometries();
+  spec.hashed_bits = bench::paper_hashed_bits;
+  spec.configs = {
+      engine::FunctionConfig::baseline(),
+      engine::FunctionConfig::optimize("perm-2in",
+                                       search::FunctionClass::permutation, 2),
+      engine::FunctionConfig::optimize("perm-4in",
+                                       search::FunctionClass::permutation, 4),
+      engine::FunctionConfig::optimize("perm-16in",
+                                       search::FunctionClass::permutation),
+  };
+
+  std::vector<std::string> names;
+  std::vector<std::uint64_t> uops;
   for (const std::string& name :
        workloads::workload_names(workloads::Suite::table2)) {
-    const workloads::Workload w = workloads::make_workload(name, scale);
-    data_rows.push_back(evaluate(w, w.data));
-    inst_rows.push_back(evaluate(w, w.fetches));
-    std::fprintf(stderr, "  [table2] %s done\n", name.c_str());
+    workloads::Workload w = workloads::make_workload(name, scale);
+    names.push_back(w.name);
+    uops.push_back(w.uops);
+    spec.add_trace(w.name + ".data", std::move(w.data));
+    spec.add_trace(w.name + ".inst", std::move(w.fetches));
+  }
+
+  engine::Campaign campaign(std::move(spec));
+  engine::CampaignOptions options;
+  options.num_threads = threads;
+  bench::ProgressSink progress("table2", campaign.jobs().size());
+  options.sink = &progress;
+  const std::vector<engine::JobResult> results = campaign.run(options);
+
+  std::vector<Row> data_rows;
+  std::vector<Row> inst_rows;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    data_rows.push_back(
+        make_row(campaign, results, 2 * i, names[i], uops[i]));
+    inst_rows.push_back(
+        make_row(campaign, results, 2 * i + 1, names[i], uops[i]));
   }
   print_block("=== data caches ===", data_rows);
   print_block("=== instruction caches ===", inst_rows);

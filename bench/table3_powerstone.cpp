@@ -6,22 +6,34 @@
 //   2/4/16-in — permutation-based XOR functions with capped fan-in,
 //   FA    — a fully-associative LRU cache of equal capacity.
 //
+// Every column of every row is one engine job; the campaign runs them
+// concurrently and shares the conflict profile across the four searches
+// of each benchmark.
+//
 // Shape to check: XOR functions beat the optimal bit-select on average,
 // the heuristic matches `opt` on most programs, and FA wins overall but
 // not everywhere (LRU suboptimality).
+//
+//   table3_powerstone [--fast] [--threads N]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "search/exhaustive_bit_select.hpp"
+#include "engine/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace xoridx;
   using bench::cell;
 
-  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
-  const cache::CacheGeometry geom(4096, 4);
+  bool fast = false;
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = bench::parse_threads(argv[++i]);
+  }
 
   std::printf(
       "Table 3. Percentage of misses removed by XOR- and optimal "
@@ -30,51 +42,50 @@ int main(int argc, char** argv) {
   std::printf("%-10s %6s %6s %6s %6s %6s %6s\n", "bench", "opt", "1-in",
               "2-in", "4-in", "16-in", "FA");
 
-  double sum_opt = 0, sum1 = 0, sum2 = 0, sum4 = 0, sum16 = 0, sum_fa = 0;
-  int count = 0;
+  engine::SweepSpec spec;
+  spec.geometries = {cache::CacheGeometry(4096, 4)};
+  spec.hashed_bits = bench::paper_hashed_bits;
+  spec.configs = {
+      engine::FunctionConfig::optimal_bit_select("opt", fast),
+      engine::FunctionConfig::optimize("1-in",
+                                       search::FunctionClass::bit_select),
+      engine::FunctionConfig::optimize("2-in",
+                                       search::FunctionClass::permutation, 2),
+      engine::FunctionConfig::optimize("4-in",
+                                       search::FunctionClass::permutation, 4),
+      engine::FunctionConfig::optimize("16-in",
+                                       search::FunctionClass::permutation),
+      engine::FunctionConfig::fully_associative("FA"),
+  };
   for (const std::string& name :
        workloads::workload_names(workloads::Suite::powerstone)) {
-    const workloads::Workload w = workloads::make_workload(name);
-    const profile::ConflictProfile profile = profile::build_conflict_profile(
-        w.data, geom, bench::paper_hashed_bits);
-    const std::uint64_t base = bench::baseline_misses(w.data, geom);
-
-    const search::ExhaustiveBitSelectResult optimal =
-        fast ? search::optimal_bit_select_estimated(w.data, geom, profile)
-             : search::optimal_bit_select(w.data, geom,
-                                          bench::paper_hashed_bits);
-    const std::uint64_t h1 = bench::optimized_misses(
-        w.data, geom, profile, search::FunctionClass::bit_select);
-    const std::uint64_t h2 = bench::optimized_misses(
-        w.data, geom, profile, search::FunctionClass::permutation, 2);
-    const std::uint64_t h4 = bench::optimized_misses(
-        w.data, geom, profile, search::FunctionClass::permutation, 4);
-    const std::uint64_t h16 = bench::optimized_misses(
-        w.data, geom, profile, search::FunctionClass::permutation);
-    const std::uint64_t fa =
-        cache::simulate_fully_associative(w.data, geom).misses;
-
-    const double p_opt = bench::percent_removed(base, optimal.misses);
-    const double p1 = bench::percent_removed(base, h1);
-    const double p2 = bench::percent_removed(base, h2);
-    const double p4 = bench::percent_removed(base, h4);
-    const double p16 = bench::percent_removed(base, h16);
-    const double p_fa = bench::percent_removed(base, fa);
-    std::printf("%-10s %s %s %s %s %s %s\n", name.c_str(), cell(p_opt).c_str(),
-                cell(p1).c_str(), cell(p2).c_str(), cell(p4).c_str(),
-                cell(p16).c_str(), cell(p_fa).c_str());
-    sum_opt += p_opt;
-    sum1 += p1;
-    sum2 += p2;
-    sum4 += p4;
-    sum16 += p16;
-    sum_fa += p_fa;
-    ++count;
+    workloads::Workload w = workloads::make_workload(name);
+    spec.add_trace(w.name, std::move(w.data));
   }
-  const double n = static_cast<double>(count);
-  std::printf("%-10s %s %s %s %s %s %s\n", "average",
-              cell(sum_opt / n).c_str(), cell(sum1 / n).c_str(),
-              cell(sum2 / n).c_str(), cell(sum4 / n).c_str(),
-              cell(sum16 / n).c_str(), cell(sum_fa / n).c_str());
+
+  engine::Campaign campaign(std::move(spec));
+  engine::CampaignOptions options;
+  options.num_threads = threads;
+  bench::ProgressSink progress("table3", campaign.jobs().size());
+  options.sink = &progress;
+  const std::vector<engine::JobResult> results = campaign.run(options);
+
+  const std::size_t columns = campaign.spec().configs.size();
+  std::vector<double> sums(columns, 0.0);
+  const std::size_t count = campaign.spec().traces.size();
+  for (std::size_t t = 0; t < count; ++t) {
+    std::printf("%-10s", campaign.spec().traces[t].name.c_str());
+    for (std::size_t c = 0; c < columns; ++c) {
+      const double removed =
+          results[campaign.job_index(t, 0, c)].percent_removed();
+      std::printf(" %s", cell(removed).c_str());
+      sums[c] += removed;
+    }
+    std::printf("\n");
+  }
+  std::printf("%-10s", "average");
+  for (std::size_t c = 0; c < columns; ++c)
+    std::printf(" %s", cell(sums[c] / static_cast<double>(count)).c_str());
+  std::printf("\n");
   return 0;
 }

@@ -3,85 +3,96 @@
 // miss-reduction / switch-count trade-off, so a designer can pick the
 // cheapest implementation that meets a miss budget.
 //
-//   $ ./hw_design_space [workload] [cache_bytes]
+// The sweep runs on the evaluation engine: one job per candidate
+// implementation, all sharing the application's conflict profile.
+//
+//   $ ./hw_design_space [workload] [cache_bytes] [threads]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "cache/simulate.hpp"
+#include "engine/campaign.hpp"
 #include "hash/hardware_cost.hpp"
-#include "hash/xor_function.hpp"
-#include "search/optimizer.hpp"
 #include "workloads/workload.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace xoridx;
 
   const std::string name = argc > 1 ? argv[1] : "susan";
   const auto cache_bytes =
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4096u;
+  const unsigned threads =
+      argc > 3 && std::atoi(argv[3]) > 0
+          ? static_cast<unsigned>(std::atoi(argv[3]))
+          : 0u;
   const cache::CacheGeometry geometry(cache_bytes, 4);
   constexpr int n = 16;
 
-  const workloads::Workload w = workloads::make_workload(name);
-  const profile::ConflictProfile profile =
-      profile::build_conflict_profile(w.data, geometry, n);
-
   struct Config {
     const char* label;
-    search::FunctionClass function_class;
-    int fan_in;
+    engine::FunctionConfig job;
     hash::ReconfigurableKind hw;
+    bool reconfigurable;
   };
   const std::vector<Config> configs = {
-      {"fixed conventional", search::FunctionClass::bit_select, 0,
-       hash::ReconfigurableKind::bit_select_optimized},
-      {"bit-select", search::FunctionClass::bit_select, 1,
-       hash::ReconfigurableKind::bit_select_optimized},
-      {"permutation 2-in", search::FunctionClass::permutation, 2,
-       hash::ReconfigurableKind::permutation_based_2in},
-      {"permutation 4-in", search::FunctionClass::permutation, 4,
-       hash::ReconfigurableKind::permutation_based_2in},
-      {"general XOR", search::FunctionClass::general_xor, 0,
-       hash::ReconfigurableKind::general_xor_2in},
+      {"fixed conventional", engine::FunctionConfig::baseline("conv"),
+       hash::ReconfigurableKind::bit_select_optimized, false},
+      {"bit-select",
+       engine::FunctionConfig::optimize(
+           "bitsel", search::FunctionClass::bit_select,
+           search::SearchOptions::unlimited, /*revert_if_worse=*/true),
+       hash::ReconfigurableKind::bit_select_optimized, true},
+      {"permutation 2-in",
+       engine::FunctionConfig::optimize("perm2",
+                                        search::FunctionClass::permutation, 2,
+                                        /*revert_if_worse=*/true),
+       hash::ReconfigurableKind::permutation_based_2in, true},
+      {"permutation 4-in",
+       engine::FunctionConfig::optimize("perm4",
+                                        search::FunctionClass::permutation, 4,
+                                        /*revert_if_worse=*/true),
+       hash::ReconfigurableKind::permutation_based_2in, true},
+      {"general XOR",
+       engine::FunctionConfig::optimize(
+           "general", search::FunctionClass::general_xor,
+           search::SearchOptions::unlimited, /*revert_if_worse=*/true),
+       hash::ReconfigurableKind::general_xor_2in, true},
   };
+
+  engine::SweepSpec spec;
+  spec.geometries = {geometry};
+  spec.hashed_bits = n;
+  for (const Config& config : configs) spec.configs.push_back(config.job);
+  {
+    workloads::Workload w = workloads::make_workload(name);
+    spec.add_trace(w.name, std::move(w.data));
+  }
+
+  engine::Campaign campaign(std::move(spec));
+  engine::CampaignOptions options;
+  options.num_threads = threads;
+  const std::vector<engine::JobResult> results = campaign.run(options);
 
   std::printf("workload %s on %s (m = %d, n = %d)\n\n", name.c_str(),
               geometry.to_string().c_str(), geometry.index_bits(), n);
   std::printf("%-20s %10s %10s %12s %14s\n", "configuration", "switches",
               "misses", "removed(%)", "xor gates");
 
-  const std::uint64_t base =
-      cache::simulate_direct_mapped(
-          w.data, geometry,
-          hash::XorFunction::conventional(n, geometry.index_bits()))
-          .misses;
-  for (const Config& config : configs) {
-    std::uint64_t misses = base;
-    if (config.fan_in != 0 ||
-        config.function_class == search::FunctionClass::general_xor) {
-      search::OptimizeOptions options;
-      options.search.function_class = config.function_class;
-      if (config.fan_in > 0) options.search.max_fan_in = config.fan_in;
-      options.revert_if_worse = true;
-      misses = search::optimize_index_with_profile(w.data, geometry, profile,
-                                                   options)
-                   .optimized_misses;
-    }
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const engine::JobResult& r = results[campaign.job_index(0, 0, c)];
     const hash::HardwareCost cost =
-        hash::hardware_cost(config.hw, n, geometry.index_bits());
-    const int switches =
-        std::string(config.label) == "fixed conventional" ? 0 : cost.switches;
-    std::printf("%-20s %10d %10llu %12.1f %14d\n", config.label, switches,
-                static_cast<unsigned long long>(misses),
-                100.0 * (static_cast<double>(base) -
-                         static_cast<double>(misses)) /
-                    static_cast<double>(base),
-                switches == 0 ? 0 : cost.xor_gates);
+        hash::hardware_cost(configs[c].hw, n, geometry.index_bits());
+    const int switches = configs[c].reconfigurable ? cost.switches : 0;
+    std::printf("%-20s %10d %10llu %12.1f %14d\n", configs[c].label, switches,
+                static_cast<unsigned long long>(r.misses),
+                r.percent_removed(), switches == 0 ? 0 : cost.xor_gates);
   }
   std::printf(
       "\nPick the cheapest row meeting the miss budget; the paper's answer "
       "is permutation 2-in (Section 7).\n");
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

@@ -12,15 +12,22 @@
 //       optionally save it in the text format.
 //   xoridx_cli simulate <trace.bin> <cache_bytes> [function.fn]
 //       Simulate the trace with the conventional index or a saved one.
+//   xoridx_cli engine <workloads> [options]
+//       Run a trace x geometry x function-class sweep on the parallel
+//       evaluation engine and stream results as CSV or JSON.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cache/simulate.hpp"
+#include "engine/campaign.hpp"
+#include "engine/thread_pool.hpp"
 #include "hash/serialize.hpp"
 #include "hash/xor_function.hpp"
 #include "profile/conflict_profile.hpp"
@@ -43,7 +50,14 @@ int usage() {
                "  xoridx_cli optimize <trace.bin> <cache_bytes> "
                "<permutation|bitselect|general> [fan_in] [out.fn]\n"
                "  xoridx_cli simulate <trace.bin> <cache_bytes> "
-               "[function.fn]\n");
+               "[function.fn]\n"
+               "  xoridx_cli engine <table2|powerstone|name[,name...]> "
+               "[--caches B,B,...]\n"
+               "      [--classes spec,spec,...] [--threads N] "
+               "[--format csv|json]\n"
+               "      [--trace file.bin]... [--small] [--out file]\n"
+               "    class specs: base fa classify opt opt-est bitselect "
+               "general perm perm:<fan_in>\n");
   return 2;
 }
 
@@ -168,6 +182,164 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Parse one --classes token into a sweep column.
+bool parse_class(const std::string& token, engine::FunctionConfig* out) {
+  using engine::FunctionConfig;
+  if (token == "base") {
+    *out = FunctionConfig::baseline();
+  } else if (token == "fa") {
+    *out = FunctionConfig::fully_associative();
+  } else if (token == "classify") {
+    *out = FunctionConfig::classify();
+  } else if (token == "opt") {
+    *out = FunctionConfig::optimal_bit_select("opt", false);
+  } else if (token == "opt-est") {
+    *out = FunctionConfig::optimal_bit_select("opt-est", true);
+  } else if (token == "bitselect") {
+    *out = FunctionConfig::optimize(token, search::FunctionClass::bit_select);
+  } else if (token == "general") {
+    *out = FunctionConfig::optimize(token, search::FunctionClass::general_xor);
+  } else if (token == "perm") {
+    *out = FunctionConfig::optimize(token, search::FunctionClass::permutation);
+  } else if (token.rfind("perm:", 0) == 0) {
+    const int fan_in = std::atoi(token.c_str() + 5);
+    if (fan_in < 1) return false;
+    *out = FunctionConfig::optimize(token, search::FunctionClass::permutation,
+                                    fan_in);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int cmd_engine(int argc, char** argv) {
+  if (argc < 3) return usage();
+
+  engine::SweepSpec spec;
+  spec.hashed_bits = hashed_bits;
+  engine::CampaignOptions options;
+  std::string format = "csv";
+  std::string out_path;
+  workloads::Scale scale = workloads::Scale::full;
+  std::vector<std::string> cache_list = {"1024", "4096", "16384"};
+  std::vector<std::string> class_list = {"base", "perm:2", "perm"};
+  std::vector<std::string> trace_files;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--small") {
+      scale = workloads::Scale::small;
+    } else if (arg == "--caches") {
+      const char* v = value();
+      if (!v) return usage();
+      cache_list = split(v, ',');
+    } else if (arg == "--classes") {
+      const char* v = value();
+      if (!v) return usage();
+      class_list = split(v, ',');
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (!v) return usage();
+      // Negative or unparsable values fall back to 0 = all hardware
+      // threads rather than wrapping to a huge unsigned count.
+      const int n = std::atoi(v);
+      options.num_threads = n > 0 ? static_cast<unsigned>(n) : 0u;
+    } else if (arg == "--format") {
+      const char* v = value();
+      if (!v || (std::strcmp(v, "csv") != 0 && std::strcmp(v, "json") != 0))
+        return usage();
+      format = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (!v) return usage();
+      trace_files.push_back(v);
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return usage();
+      out_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  std::vector<std::string> names;
+  const std::string selector = argv[2];
+  if (selector == "table2") {
+    names = workloads::workload_names(workloads::Suite::table2);
+  } else if (selector == "powerstone") {
+    names = workloads::workload_names(workloads::Suite::powerstone);
+  } else if (selector != "-") {
+    names = split(selector, ',');
+  }
+  for (const std::string& name : names) {
+    workloads::Workload w = workloads::make_workload(name, scale);
+    spec.add_trace(w.name, std::move(w.data));
+  }
+  for (const std::string& file : trace_files)
+    spec.add_trace(file, trace::load_trace(file));
+  if (spec.traces.empty()) {
+    std::fprintf(stderr, "no traces selected\n");
+    return usage();
+  }
+
+  for (const std::string& bytes : cache_list)
+    spec.geometries.emplace_back(
+        static_cast<std::uint32_t>(std::atoi(bytes.c_str())), 4);
+  for (const std::string& token : class_list) {
+    engine::FunctionConfig config;
+    if (!parse_class(token, &config)) {
+      std::fprintf(stderr, "unknown class spec '%s'\n", token.c_str());
+      return usage();
+    }
+    spec.configs.push_back(std::move(config));
+  }
+
+  std::ofstream file_out;
+  if (!out_path.empty()) {
+    file_out.open(out_path);
+    if (!file_out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& os = out_path.empty() ? std::cout : file_out;
+  std::unique_ptr<engine::ResultSink> sink;
+  if (format == "json")
+    sink = std::make_unique<engine::JsonSink>(os);
+  else
+    sink = std::make_unique<engine::CsvSink>(os);
+  options.sink = sink.get();
+
+  engine::Campaign campaign(std::move(spec));
+  std::fprintf(stderr,
+               "[engine] %zu jobs (%zu traces x %zu geometries x %zu "
+               "classes), %u threads\n",
+               campaign.jobs().size(), campaign.spec().traces.size(),
+               campaign.spec().geometries.size(),
+               campaign.spec().configs.size(),
+               options.num_threads == 0
+                   ? engine::ThreadPool::default_threads()
+                   : options.num_threads);
+  campaign.run(options);
+  std::fprintf(stderr, "[engine] profile cache: %llu built, %llu shared\n",
+               static_cast<unsigned long long>(campaign.profiles().misses()),
+               static_cast<unsigned long long>(campaign.profiles().hits()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,6 +351,7 @@ int main(int argc, char** argv) {
     if (command == "profile") return cmd_profile(argc, argv);
     if (command == "optimize") return cmd_optimize(argc, argv);
     if (command == "simulate") return cmd_simulate(argc, argv);
+    if (command == "engine") return cmd_engine(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,6 +1,6 @@
 #include "cache/simulate.hpp"
 
-#include <unordered_map>
+#include <unordered_set>
 
 #include "cache/direct_mapped.hpp"
 #include "cache/fully_associative.hpp"
@@ -37,7 +37,8 @@ MissBreakdown classify_misses(const trace::Trace& t,
                               const hash::IndexFunction& index_fn) {
   DirectMappedCache dm(geometry, index_fn);
   FullyAssociativeCache fa(geometry.num_blocks());
-  std::unordered_map<std::uint64_t, bool> seen;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(t.size());  // distinct blocks <= references
   MissBreakdown out;
   const int shift = geometry.offset_bits();
   for (const trace::Access& a : t) {
@@ -45,7 +46,7 @@ MissBreakdown classify_misses(const trace::Trace& t,
     ++out.accesses;
     const bool dm_hit = dm.access(block);
     const bool fa_hit = fa.access(block);
-    const bool first_touch = seen.emplace(block, true).second;
+    const bool first_touch = seen.insert(block).second;
     if (dm_hit) continue;
     ++out.misses;
     if (first_touch)

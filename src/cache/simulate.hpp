@@ -36,6 +36,8 @@ struct MissBreakdown {
   std::uint64_t compulsory = 0;
   std::uint64_t capacity = 0;
   std::uint64_t conflict = 0;
+
+  friend bool operator==(const MissBreakdown&, const MissBreakdown&) = default;
 };
 
 [[nodiscard]] MissBreakdown classify_misses(const trace::Trace& t,

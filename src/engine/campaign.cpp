@@ -1,0 +1,235 @@
+#include "engine/campaign.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "cache/simulate.hpp"
+#include "engine/thread_pool.hpp"
+#include "hash/xor_function.hpp"
+#include "search/exhaustive_bit_select.hpp"
+#include "search/optimizer.hpp"
+
+namespace xoridx::engine {
+
+FunctionConfig FunctionConfig::baseline(std::string label) {
+  return {std::move(label), EvaluateFunctionJob{}};
+}
+
+FunctionConfig FunctionConfig::evaluate(
+    std::string label, std::shared_ptr<const hash::IndexFunction> function) {
+  return {std::move(label), EvaluateFunctionJob{std::move(function), false}};
+}
+
+FunctionConfig FunctionConfig::fully_associative(std::string label) {
+  return {std::move(label), EvaluateFunctionJob{nullptr, true}};
+}
+
+FunctionConfig FunctionConfig::optimize(std::string label,
+                                        search::FunctionClass function_class,
+                                        int max_fan_in,
+                                        bool revert_if_worse) {
+  return {std::move(label),
+          OptimizeIndexJob{function_class, max_fan_in, revert_if_worse}};
+}
+
+FunctionConfig FunctionConfig::optimal_bit_select(std::string label,
+                                                  bool use_estimator) {
+  return {std::move(label), OptimalBitSelectJob{use_estimator}};
+}
+
+FunctionConfig FunctionConfig::classify(std::string label) {
+  return {std::move(label), ClassifyMissesJob{}};
+}
+
+Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
+  for (const TraceEntry& entry : spec_.traces)
+    if (!entry.trace)
+      throw std::invalid_argument("campaign trace '" + entry.name +
+                                  "' is null");
+  for (const cache::CacheGeometry& geom : spec_.geometries)
+    if (geom.index_bits() > spec_.hashed_bits)
+      throw std::invalid_argument(
+          "geometry " + geom.to_string() + " needs " +
+          std::to_string(geom.index_bits()) +
+          " index bits but the sweep hashes only " +
+          std::to_string(spec_.hashed_bits) +
+          " address bits (m <= n required)");
+  jobs_.reserve(spec_.job_count());
+  for (std::size_t t = 0; t < spec_.traces.size(); ++t)
+    for (std::size_t g = 0; g < spec_.geometries.size(); ++g)
+      for (std::size_t c = 0; c < spec_.configs.size(); ++c)
+        jobs_.push_back({t, g, c, spec_.configs[c].label,
+                         spec_.configs[c].payload});
+}
+
+cache::CacheStats Campaign::baseline_stats(std::size_t trace_index,
+                                           std::size_t geometry_index) {
+  const std::size_t key =
+      trace_index * spec_.geometries.size() + geometry_index;
+  {
+    std::lock_guard lock(baseline_mutex_);
+    auto it = baselines_.find(key);
+    if (it != baselines_.end()) return it->second;
+  }
+  // Compute outside the lock; concurrent duplicates produce the same
+  // deterministic value, so last-writer-wins is harmless.
+  const cache::CacheGeometry& geom = spec_.geometries[geometry_index];
+  const hash::XorFunction conventional =
+      hash::XorFunction::conventional(spec_.hashed_bits, geom.index_bits());
+  const cache::CacheStats stats = cache::simulate_direct_mapped(
+      *spec_.traces[trace_index].trace, geom, conventional);
+  std::lock_guard lock(baseline_mutex_);
+  baselines_.emplace(key, stats);
+  return stats;
+}
+
+JobResult Campaign::execute(const Job& job) {
+  const trace::Trace& trace = *spec_.traces[job.trace_index].trace;
+  const cache::CacheGeometry& geom = spec_.geometries[job.geometry_index];
+
+  JobResult result;
+  result.trace_name = spec_.traces[job.trace_index].name;
+  result.geometry = geom;
+  result.label = job.label;
+  result.kind = kind_name(job.payload);
+
+  struct Visitor {
+    Campaign& self;
+    const Job& job;
+    const trace::Trace& trace;
+    const cache::CacheGeometry& geom;
+    JobResult& out;
+
+    void operator()(const EvaluateFunctionJob& j) const {
+      const cache::CacheStats baseline =
+          self.baseline_stats(job.trace_index, job.geometry_index);
+      out.baseline_misses = baseline.misses;
+      if (j.fully_associative) {
+        const cache::CacheStats stats =
+            cache::simulate_fully_associative(trace, geom);
+        out.accesses = stats.accesses;
+        out.misses = stats.misses;
+        out.function_description = "fully-associative LRU";
+        return;
+      }
+      if (!j.function) {  // conventional index: the cached baseline run
+        out.accesses = baseline.accesses;
+        out.misses = baseline.misses;
+        return;
+      }
+      const cache::CacheStats stats =
+          cache::simulate_direct_mapped(trace, geom, *j.function);
+      out.accesses = stats.accesses;
+      out.misses = stats.misses;
+      out.function_description = j.function->describe();
+    }
+
+    void operator()(const OptimizeIndexJob& j) const {
+      const ProfileCache::ProfilePtr profile = self.profile_cache_.get_or_build(
+          trace, geom, self.spec_.hashed_bits);
+      search::OptimizeOptions options;
+      options.hashed_bits = self.spec_.hashed_bits;
+      options.search.function_class = j.function_class;
+      options.search.max_fan_in = j.max_fan_in;
+      options.revert_if_worse = j.revert_if_worse;
+      const search::OptimizationResult r =
+          search::optimize_index_with_profile(trace, geom, *profile, options);
+      out.accesses = r.accesses;
+      out.baseline_misses = r.baseline_misses;
+      out.misses = r.optimized_misses;
+      out.estimated_misses = r.estimated_misses;
+      out.reverted = r.reverted;
+      out.function_description = r.function->describe();
+    }
+
+    void operator()(const OptimalBitSelectJob& j) const {
+      out.baseline_misses =
+          self.baseline_stats(job.trace_index, job.geometry_index).misses;
+      search::ExhaustiveBitSelectResult r =
+          j.use_estimator
+              ? search::optimal_bit_select_estimated(
+                    trace, geom,
+                    *self.profile_cache_.get_or_build(trace, geom,
+                                                      self.spec_.hashed_bits))
+              : search::optimal_bit_select(trace, geom, self.spec_.hashed_bits);
+      out.accesses = trace.size();
+      out.misses = r.misses;
+      out.function_description = r.function.describe();
+    }
+
+    void operator()(const ClassifyMissesJob&) const {
+      const hash::XorFunction conventional = hash::XorFunction::conventional(
+          self.spec_.hashed_bits, geom.index_bits());
+      const cache::MissBreakdown b =
+          cache::classify_misses(trace, geom, conventional);
+      out.accesses = b.accesses;
+      out.baseline_misses = b.misses;
+      out.misses = b.misses;
+      out.breakdown = b;
+      out.function_description = "conventional";
+    }
+  };
+  std::visit(Visitor{*this, job, trace, geom, result}, job.payload);
+  return result;
+}
+
+std::vector<JobResult> Campaign::run(const CampaignOptions& options) {
+  std::vector<JobResult> results(jobs_.size());
+  if (options.sink) options.sink->begin();
+
+  const unsigned threads = options.num_threads == 0
+                               ? ThreadPool::default_threads()
+                               : options.num_threads;
+  if (threads <= 1 || jobs_.size() <= 1) {
+    try {
+      for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        results[i] = execute(jobs_[i]);
+        if (options.sink) options.sink->write(results[i]);
+      }
+    } catch (...) {
+      // Terminate the sink so streamed output (e.g. a JSON array) stays
+      // well-formed even when a job fails mid-sweep.
+      if (options.sink) options.sink->end();
+      throw;
+    }
+    if (options.sink) options.sink->end();
+    return results;
+  }
+
+  ThreadPool pool(threads);
+  std::mutex emit_mutex;
+  std::vector<char> done(jobs_.size(), 0);
+  std::size_t emitted = 0;
+  std::exception_ptr first_error;
+
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    pool.submit([&, i] {
+      JobResult r;
+      std::exception_ptr error;
+      try {
+        r = execute(jobs_[i]);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard lock(emit_mutex);
+      if (error) {
+        if (!first_error) first_error = error;
+        return;
+      }
+      results[i] = std::move(r);
+      done[i] = 1;
+      // Stream the longest completed prefix not yet emitted: insertion
+      // order regardless of completion order.
+      if (options.sink && !first_error)
+        while (emitted < jobs_.size() && done[emitted])
+          options.sink->write(results[emitted++]);
+    });
+  }
+  pool.wait_idle();
+  if (options.sink) options.sink->end();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace xoridx::engine

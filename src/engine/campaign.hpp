@@ -1,0 +1,129 @@
+// Campaign: declarative trace × geometry × function-class sweeps executed
+// on a thread pool with deterministic aggregation.
+//
+// This is the engine behind the Table-2/Table-3 benches and the design-
+// space CLI. A SweepSpec names traces, cache geometries and per-cell job
+// configs; the campaign expands the cross product into typed jobs
+// (job.hpp), deduplicates ConflictProfile construction per (trace,
+// geometry) behind a ProfileCache, runs the jobs concurrently, and
+// aggregates results in insertion (spec) order — so a run with N threads
+// produces output byte-identical to a serial run. Results stream to an
+// optional ResultSink as the ordered prefix completes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "engine/job.hpp"
+#include "engine/profile_cache.hpp"
+#include "engine/report.hpp"
+#include "trace/trace.hpp"
+
+namespace xoridx::engine {
+
+struct TraceEntry {
+  std::string name;
+  std::shared_ptr<const trace::Trace> trace;
+};
+
+/// One column of a sweep: a label plus the job payload run for every
+/// (trace, geometry) cell.
+struct FunctionConfig {
+  std::string label;
+  JobPayload payload;
+
+  /// Exact simulation of the conventional modulo index.
+  [[nodiscard]] static FunctionConfig baseline(std::string label = "base");
+  /// Exact simulation of a fixed function.
+  [[nodiscard]] static FunctionConfig evaluate(
+      std::string label, std::shared_ptr<const hash::IndexFunction> function);
+  /// Equal-capacity fully-associative LRU bound.
+  [[nodiscard]] static FunctionConfig fully_associative(
+      std::string label = "fa");
+  /// Profile-guided search of one function class / fan-in limit.
+  [[nodiscard]] static FunctionConfig optimize(
+      std::string label, search::FunctionClass function_class,
+      int max_fan_in = search::SearchOptions::unlimited,
+      bool revert_if_worse = false);
+  /// Exhaustive bit-selecting search (exact, or estimator-guided).
+  [[nodiscard]] static FunctionConfig optimal_bit_select(
+      std::string label = "opt", bool use_estimator = false);
+  /// 3C breakdown under the conventional index.
+  [[nodiscard]] static FunctionConfig classify(std::string label = "3c");
+};
+
+struct SweepSpec {
+  std::vector<TraceEntry> traces;
+  std::vector<cache::CacheGeometry> geometries;
+  std::vector<FunctionConfig> configs;
+  int hashed_bits = 16;  ///< the paper's n
+
+  /// Convenience: take ownership of a trace under a name.
+  void add_trace(std::string name, trace::Trace t) {
+    traces.push_back(
+        {std::move(name),
+         std::make_shared<const trace::Trace>(std::move(t))});
+  }
+
+  [[nodiscard]] std::size_t job_count() const {
+    return traces.size() * geometries.size() * configs.size();
+  }
+};
+
+struct CampaignOptions {
+  /// 0 = one worker per hardware thread; 1 = run inline on the calling
+  /// thread (the serial reference path, no pool overhead).
+  unsigned num_threads = 0;
+  /// Results stream here in spec order as the ordered prefix completes.
+  ResultSink* sink = nullptr;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(SweepSpec spec);
+
+  [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept {
+    return jobs_;
+  }
+
+  /// Flat index of the (trace, geometry, config) cell in jobs()/results:
+  /// trace-major, then geometry, then config — the expansion order.
+  [[nodiscard]] std::size_t job_index(std::size_t trace_index,
+                                      std::size_t geometry_index,
+                                      std::size_t config_index) const {
+    return (trace_index * spec_.geometries.size() + geometry_index) *
+               spec_.configs.size() +
+           config_index;
+  }
+
+  /// Execute every job and return results in jobs() order. May be called
+  /// repeatedly; the profile cache persists across runs.
+  std::vector<JobResult> run(const CampaignOptions& options = {});
+
+  [[nodiscard]] const ProfileCache& profiles() const noexcept {
+    return profile_cache_;
+  }
+
+ private:
+  [[nodiscard]] JobResult execute(const Job& job);
+  [[nodiscard]] cache::CacheStats baseline_stats(std::size_t trace_index,
+                                                 std::size_t geometry_index);
+
+  SweepSpec spec_;
+  std::vector<Job> jobs_;
+  ProfileCache profile_cache_;
+
+  /// Conventional-index simulation results, deduplicated per (trace,
+  /// geometry) like the profiles: every result row reports its baseline,
+  /// and the baseline config itself reuses the cached run.
+  std::mutex baseline_mutex_;
+  std::unordered_map<std::size_t, cache::CacheStats> baselines_;
+};
+
+}  // namespace xoridx::engine

@@ -1,0 +1,62 @@
+#include "engine/profile_cache.hpp"
+
+namespace xoridx::engine {
+
+std::size_t ProfileCache::KeyHash::operator()(const Key& k) const noexcept {
+  // FNV-1a over the key fields.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(reinterpret_cast<std::uintptr_t>(k.trace));
+  mix(k.geometry.size_bytes);
+  mix(k.geometry.block_bytes);
+  mix(k.geometry.associativity);
+  mix(static_cast<std::uint64_t>(k.hashed_bits));
+  return static_cast<std::size_t>(h);
+}
+
+ProfileCache::ProfilePtr ProfileCache::get_or_build(
+    const trace::Trace& t, const cache::CacheGeometry& geometry,
+    int hashed_bits) {
+  const Key key{&t, geometry, hashed_bits};
+  std::promise<ProfilePtr> promise;
+  std::shared_future<ProfilePtr> future;
+  bool builder = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = promise.get_future().share();
+      builder = true;
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    future = it->second;
+  }
+  if (builder) {
+    try {
+      promise.set_value(std::make_shared<const profile::ConflictProfile>(
+          profile::build_conflict_profile(t, geometry, hashed_bits)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t ProfileCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void ProfileCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace xoridx::engine

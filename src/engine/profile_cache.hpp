@@ -1,0 +1,59 @@
+// Shared, thread-safe cache of ConflictProfile construction.
+//
+// Profiling a trace (Figure 1) depends only on the trace, the cache
+// geometry and n — one profile serves every function class and fan-in
+// limit of a sweep row. In a campaign the profile is by far the most
+// expensive shared prefix, so concurrent jobs deduplicate it here: the
+// first requester builds, everyone else blocks on a shared_future for the
+// same key. Hit/miss counters make the dedup observable (and testable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "cache/geometry.hpp"
+#include "profile/conflict_profile.hpp"
+#include "trace/trace.hpp"
+
+namespace xoridx::engine {
+
+class ProfileCache {
+ public:
+  using ProfilePtr = std::shared_ptr<const profile::ConflictProfile>;
+
+  /// Return the profile for (trace, geometry, hashed_bits), building it on
+  /// first request. Thread-safe; concurrent requests for one key build
+  /// exactly once. The trace is identified by address: callers must keep
+  /// it alive and in place for the lifetime of the cache entry.
+  [[nodiscard]] ProfilePtr get_or_build(const trace::Trace& t,
+                                        const cache::CacheGeometry& geometry,
+                                        int hashed_bits);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const;
+
+  void clear();
+
+ private:
+  struct Key {
+    const trace::Trace* trace;
+    cache::CacheGeometry geometry;
+    int hashed_bits;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_future<ProfilePtr>, KeyHash> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace xoridx::engine

@@ -1,0 +1,114 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+
+namespace xoridx::engine {
+namespace {
+
+/// Collapse newlines so descriptions fit one CSV/JSON row.
+std::string flatten(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\n') {
+      if (!out.empty() && out.back() != ' ') out += "; ";
+    } else if (c != '\r') {
+      out += c;
+    }
+  }
+  while (!out.empty() && (out.back() == ' ' || out.back() == ';'))
+    out.pop_back();
+  return out;
+}
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_percent(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+void CsvSink::begin() {
+  os_ << "trace,cache_bytes,geometry,label,kind,accesses,baseline_misses,"
+         "misses,estimated_misses,reverted,percent_removed,compulsory,"
+         "capacity,conflict,function\n";
+}
+
+void CsvSink::write(const JobResult& r) {
+  os_ << csv_field(r.trace_name) << ',' << r.geometry.size_bytes << ','
+      << csv_field(r.geometry.to_string()) << ',' << csv_field(r.label) << ','
+      << r.kind << ',' << r.accesses << ',' << r.baseline_misses << ','
+      << r.misses << ',' << r.estimated_misses << ','
+      << (r.reverted ? 1 : 0) << ',' << format_percent(r.percent_removed())
+      << ',' << r.breakdown.compulsory << ',' << r.breakdown.capacity << ','
+      << r.breakdown.conflict << ','
+      << csv_field(flatten(r.function_description)) << '\n';
+  os_.flush();
+}
+
+void JsonSink::begin() {
+  os_ << "[\n";
+  first_ = true;
+}
+
+void JsonSink::write(const JobResult& r) {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+  os_ << "  {\"trace\":" << json_string(r.trace_name)
+      << ",\"cache_bytes\":" << r.geometry.size_bytes
+      << ",\"geometry\":" << json_string(r.geometry.to_string())
+      << ",\"label\":" << json_string(r.label)
+      << ",\"kind\":" << json_string(r.kind)
+      << ",\"accesses\":" << r.accesses
+      << ",\"baseline_misses\":" << r.baseline_misses
+      << ",\"misses\":" << r.misses
+      << ",\"estimated_misses\":" << r.estimated_misses
+      << ",\"reverted\":" << (r.reverted ? "true" : "false")
+      << ",\"percent_removed\":" << format_percent(r.percent_removed())
+      << ",\"compulsory\":" << r.breakdown.compulsory
+      << ",\"capacity\":" << r.breakdown.capacity
+      << ",\"conflict\":" << r.breakdown.conflict << ",\"function\":"
+      << json_string(flatten(r.function_description)) << "}";
+  os_.flush();
+}
+
+void JsonSink::end() {
+  os_ << "\n]\n";
+  os_.flush();
+}
+
+}  // namespace xoridx::engine

@@ -1,0 +1,61 @@
+// Streaming result sinks for the evaluation engine.
+//
+// The campaign pushes JobResults to a sink in insertion (spec) order as
+// soon as the ordered prefix of the sweep completes, so long campaigns
+// produce output incrementally. Serialization is locale-free and contains
+// no timing or thread information: a parallel run must emit bytes
+// identical to a serial run of the same spec.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "engine/job.hpp"
+
+namespace xoridx::engine {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void begin() {}
+  virtual void write(const JobResult& result) = 0;
+  virtual void end() {}
+};
+
+/// Ignores everything. Useful as a default and in benchmarks.
+class NullSink final : public ResultSink {
+ public:
+  void write(const JobResult&) override {}
+};
+
+/// RFC-4180-style CSV with a header row. Multi-line function descriptions
+/// are flattened to "; "-separated single lines before quoting.
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& os) : os_(os) {}
+  void begin() override;
+  void write(const JobResult& result) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// A JSON array of result objects, one object per line.
+class JsonSink final : public ResultSink {
+ public:
+  explicit JsonSink(std::ostream& os) : os_(os) {}
+  void begin() override;
+  void write(const JobResult& result) override;
+  void end() override;
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+/// Fixed-precision decimal used by both sinks (avoids locale and
+/// float-formatting drift between runs).
+[[nodiscard]] std::string format_percent(double value);
+
+}  // namespace xoridx::engine

@@ -1,0 +1,81 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xoridx::engine {
+
+unsigned ThreadPool::default_threads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = num_threads == 0 ? default_threads() : num_threads;
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard lock(mutex_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::pop_locked(std::size_t self, Task& out) {
+  if (!queues_[self].empty()) {
+    out = std::move(queues_[self].front());
+    queues_[self].pop_front();
+    return true;
+  }
+  std::size_t victim = queues_.size();
+  std::size_t victim_load = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    if (i != self && queues_[i].size() > victim_load) {
+      victim = i;
+      victim_load = queues_[i].size();
+    }
+  if (victim == queues_.size()) return false;
+  out = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return pop_locked(self, task) || stopping_; });
+      if (!task) return;  // stopping, queues drained
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace xoridx::engine

@@ -1,0 +1,65 @@
+// Fixed-size thread pool for the evaluation engine.
+//
+// Each worker owns a deque: submissions are distributed round-robin, a
+// worker pops from the front of its own deque and, when that runs dry,
+// steals from the back of the most loaded sibling. A single mutex guards
+// the queues — campaign jobs are milliseconds to seconds of simulation or
+// search, so queue contention is negligible and the per-worker layout
+// mainly preserves locality and keeps the door open for finer-grained
+// locking when job granularity shrinks (see ROADMAP: sharded sweeps).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xoridx::engine {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `num_threads` workers; 0 means default_threads().
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Drains nothing: outstanding tasks are completed before destruction.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Thread-safe; may be called from worker threads.
+  void submit(Task task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// All hardware threads, at least 1.
+  [[nodiscard]] static unsigned default_threads() noexcept;
+
+ private:
+  void worker_loop(std::size_t self);
+  /// Pop from own queue front, else steal from the most loaded sibling's
+  /// back. Caller must hold `mutex_`.
+  bool pop_locked(std::size_t self, Task& out);
+
+  std::vector<std::deque<Task>> queues_;  ///< one per worker
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signalled on submit and shutdown
+  std::condition_variable idle_cv_;  ///< signalled when pending_ hits zero
+  std::size_t pending_ = 0;          ///< queued + running tasks
+  std::size_t next_queue_ = 0;       ///< round-robin submission cursor
+  bool stopping_ = false;
+};
+
+}  // namespace xoridx::engine

@@ -27,7 +27,12 @@ XorFunction XorFunction::from_null_space(const gf2::Subspace& ns) {
 }
 
 XorFunction XorFunction::conventional(int n, int m) {
-  assert(m <= n);
+  // A real check, not an assert: release builds compile asserts out, and
+  // m > n would write past the matrix rows below.
+  if (m > n)
+    throw std::invalid_argument(
+        "conventional index needs m <= n (cache has more index bits than "
+        "hashed address bits)");
   gf2::Matrix h(n, m);
   for (int i = 0; i < m; ++i) h.set_row(i, unit(i));
   return XorFunction(std::move(h));

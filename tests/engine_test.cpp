@@ -1,0 +1,285 @@
+// Evaluation-engine tests: thread pool, profile cache, campaign
+// expansion, parallel-vs-serial determinism, and the result sinks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/simulate.hpp"
+#include "engine/campaign.hpp"
+#include "engine/profile_cache.hpp"
+#include "engine/report.hpp"
+#include "engine/thread_pool.hpp"
+#include "hash/xor_function.hpp"
+#include "trace/generators.hpp"
+#include "workloads/workload.hpp"
+
+namespace xoridx::engine {
+namespace {
+
+using cache::CacheGeometry;
+using search::FunctionClass;
+
+// --------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, SubmitFromWorkerThread) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+// ------------------------------------------------------------- ProfileCache
+
+TEST(ProfileCache, BuildsOncePerKey) {
+  const trace::Trace t = trace::stride_trace(0, 4096, 256);
+  const CacheGeometry geom(1024, 4);
+  ProfileCache cache;
+
+  const auto p1 = cache.get_or_build(t, geom, 12);
+  const auto p2 = cache.get_or_build(t, geom, 12);
+  EXPECT_EQ(p1.get(), p2.get());  // same built object, not a rebuild
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProfileCache, DistinctKeysBuildSeparately) {
+  const trace::Trace t = trace::stride_trace(0, 4096, 256);
+  ProfileCache cache;
+  const auto a = cache.get_or_build(t, CacheGeometry(1024, 4), 12);
+  const auto b = cache.get_or_build(t, CacheGeometry(4096, 4), 12);
+  const auto c = cache.get_or_build(t, CacheGeometry(1024, 4), 10);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ProfileCache, ConcurrentRequestsShareOneBuild) {
+  const trace::Trace t = trace::stride_trace(0, 4096, 4096);
+  const CacheGeometry geom(1024, 4);
+  ProfileCache cache;
+  ThreadPool pool(8);
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 32; ++i)
+    pool.submit([&] {
+      if (cache.get_or_build(t, geom, 12) != nullptr)
+        ok.fetch_add(1, std::memory_order_relaxed);
+    });
+  pool.wait_idle();
+  EXPECT_EQ(ok.load(), 32);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 31u);
+}
+
+// ----------------------------------------------------------------- Campaign
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.hashed_bits = 16;
+  spec.geometries = {CacheGeometry(1024, 4), CacheGeometry(4096, 4)};
+  spec.configs = {
+      FunctionConfig::baseline(),
+      FunctionConfig::optimize("perm-2in", FunctionClass::permutation, 2),
+      FunctionConfig::optimize("general", FunctionClass::general_xor),
+      FunctionConfig::fully_associative(),
+      FunctionConfig::classify(),
+  };
+  for (const char* name : {"dijkstra", "fft"}) {
+    workloads::Workload w =
+        workloads::make_workload(name, workloads::Scale::small);
+    spec.add_trace(w.name, std::move(w.data));
+  }
+  return spec;
+}
+
+TEST(Campaign, ExpandsSpecInTraceGeometryConfigOrder) {
+  Campaign campaign(small_spec());
+  const auto& spec = campaign.spec();
+  ASSERT_EQ(campaign.jobs().size(), spec.job_count());
+  std::size_t i = 0;
+  for (std::size_t t = 0; t < spec.traces.size(); ++t)
+    for (std::size_t g = 0; g < spec.geometries.size(); ++g)
+      for (std::size_t c = 0; c < spec.configs.size(); ++c, ++i) {
+        EXPECT_EQ(campaign.job_index(t, g, c), i);
+        EXPECT_EQ(campaign.jobs()[i].trace_index, t);
+        EXPECT_EQ(campaign.jobs()[i].geometry_index, g);
+        EXPECT_EQ(campaign.jobs()[i].label, spec.configs[c].label);
+      }
+}
+
+// The headline guarantee: a parallel run aggregates byte-identically to
+// the serial (num_threads = 1) reference path.
+TEST(Campaign, ParallelRunMatchesSerialByteForByte) {
+  Campaign serial(small_spec());
+  Campaign parallel(small_spec());
+
+  std::ostringstream serial_csv, parallel_csv;
+  std::ostringstream serial_json, parallel_json;
+
+  CsvSink scsv(serial_csv);
+  CampaignOptions sopts;
+  sopts.num_threads = 1;
+  sopts.sink = &scsv;
+  const std::vector<JobResult> sres = serial.run(sopts);
+  {
+    JsonSink sink(serial_json);
+    sink.begin();
+    for (const JobResult& r : sres) sink.write(r);
+    sink.end();
+  }
+
+  CsvSink pcsv(parallel_csv);
+  CampaignOptions popts;
+  popts.num_threads = 8;
+  popts.sink = &pcsv;
+  const std::vector<JobResult> pres = parallel.run(popts);
+  {
+    JsonSink sink(parallel_json);
+    sink.begin();
+    for (const JobResult& r : pres) sink.write(r);
+    sink.end();
+  }
+
+  EXPECT_EQ(sres, pres);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+  EXPECT_EQ(serial_json.str(), parallel_json.str());
+  EXPECT_FALSE(serial_csv.str().empty());
+}
+
+// Profile construction is deduplicated per (trace, geometry): the two
+// search configs of each cell share one profile.
+TEST(Campaign, ProfileCacheSharedAcrossConfigs) {
+  Campaign campaign(small_spec());
+  CampaignOptions options;
+  options.num_threads = 4;
+  campaign.run(options);
+  // 2 traces x 2 geometries, and 2 profile-consuming configs per cell
+  // (perm-2in, general) -> 4 builds, 4 hits.
+  EXPECT_EQ(campaign.profiles().misses(), 4u);
+  EXPECT_EQ(campaign.profiles().hits(), 4u);
+}
+
+TEST(Campaign, ResultsMatchDirectCalls) {
+  SweepSpec spec;
+  spec.hashed_bits = 16;
+  spec.geometries = {CacheGeometry(1024, 4)};
+  spec.configs = {FunctionConfig::baseline(), FunctionConfig::classify()};
+  const trace::Trace reference = trace::stride_trace(0, 4096, 2048);
+  spec.add_trace("stride", trace::Trace(reference));
+
+  Campaign campaign(std::move(spec));
+  const std::vector<JobResult> results = campaign.run({});
+
+  const hash::XorFunction conventional = hash::XorFunction::conventional(
+      16, CacheGeometry(1024, 4).index_bits());
+  const cache::CacheStats direct = cache::simulate_direct_mapped(
+      reference, CacheGeometry(1024, 4), conventional);
+  EXPECT_EQ(results[0].misses, direct.misses);
+  EXPECT_EQ(results[0].accesses, direct.accesses);
+  EXPECT_EQ(results[0].baseline_misses, direct.misses);
+
+  const cache::MissBreakdown breakdown = cache::classify_misses(
+      reference, CacheGeometry(1024, 4), conventional);
+  EXPECT_EQ(results[1].breakdown, breakdown);
+  EXPECT_EQ(results[1].breakdown.compulsory + results[1].breakdown.capacity +
+                results[1].breakdown.conflict,
+            results[1].misses);
+}
+
+TEST(Campaign, StreamsResultsInSpecOrder) {
+  Campaign campaign(small_spec());
+
+  struct OrderSink final : ResultSink {
+    std::vector<std::string> keys;
+    void write(const JobResult& r) override {
+      keys.push_back(r.trace_name + "/" + r.geometry.to_string() + "/" +
+                     r.label);
+    }
+  } sink;
+  CampaignOptions options;
+  options.num_threads = 8;
+  options.sink = &sink;
+  campaign.run(options);
+
+  ASSERT_EQ(sink.keys.size(), campaign.jobs().size());
+  for (std::size_t i = 0; i < campaign.jobs().size(); ++i) {
+    const Job& job = campaign.jobs()[i];
+    EXPECT_EQ(sink.keys[i],
+              campaign.spec().traces[job.trace_index].name + "/" +
+                  campaign.spec().geometries[job.geometry_index].to_string() +
+                  "/" + job.label);
+  }
+}
+
+// -------------------------------------------------------------------- Sinks
+
+TEST(Sinks, CsvEscapesCommasQuotesAndNewlines) {
+  JobResult r;
+  r.trace_name = "a,b";
+  r.geometry = CacheGeometry(1024, 4);
+  r.label = "l\"q";
+  r.kind = "evaluate";
+  r.function_description = "line1\nline2";
+  std::ostringstream os;
+  CsvSink sink(os);
+  sink.begin();
+  sink.write(r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"l\"\"q\""), std::string::npos);
+  EXPECT_NE(out.find("line1; line2"), std::string::npos);
+  EXPECT_EQ(out.find('\n', out.find("a,b")),
+            out.size() - 1);  // one data row, newline-free fields
+}
+
+TEST(Sinks, JsonEscapesStrings) {
+  JobResult r;
+  r.trace_name = "quote\" backslash\\ newline\n";
+  r.geometry = CacheGeometry(1024, 4);
+  r.label = "l";
+  r.kind = "evaluate";
+  std::ostringstream os;
+  JsonSink sink(os);
+  sink.begin();
+  sink.write(r);
+  sink.end();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("quote\\\" backslash\\\\ newline\\n"),
+            std::string::npos);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out[out.size() - 2], ']');
+}
+
+}  // namespace
+}  // namespace xoridx::engine
