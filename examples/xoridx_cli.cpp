@@ -14,11 +14,19 @@
 //       Simulate the trace with the conventional index or a saved one.
 //   xoridx_cli engine <workloads> [options]
 //       Run a trace x geometry x function-class sweep on the parallel
-//       evaluation engine and stream results as CSV or JSON.
+//       evaluation engine and stream results as CSV or JSON. With --mmap,
+//       --trace files are streamed chunk-by-chunk through the trace store
+//       instead of being materialized in memory.
+//   xoridx_cli trace convert <in> <out> [--to v1|v2] [--chunk N]
+//       Convert between the v1 fixed-record and v2 chunk-compressed trace
+//       formats, streaming (O(chunk) memory).
+//   xoridx_cli trace info <file>
+//       Print trace-file metadata: format, accesses, chunks, content id.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,6 +41,7 @@
 #include "profile/conflict_profile.hpp"
 #include "search/optimizer.hpp"
 #include "trace/trace_io.hpp"
+#include "tracestore/store.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -55,9 +64,12 @@ int usage() {
                "[--caches B,B,...]\n"
                "      [--classes spec,spec,...] [--threads N] "
                "[--format csv|json]\n"
-               "      [--trace file.bin]... [--small] [--out file]\n"
+               "      [--trace file.bin]... [--mmap] [--small] [--out file]\n"
                "    class specs: base fa classify opt opt-est bitselect "
-               "general perm perm:<fan_in>\n");
+               "general perm perm:<fan_in>\n"
+               "  xoridx_cli trace convert <in> <out> [--to v1|v2] "
+               "[--chunk N]\n"
+               "  xoridx_cli trace info <file>\n");
   return 2;
 }
 
@@ -73,7 +85,7 @@ int cmd_gen(int argc, char** argv) {
 
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) return usage();
-  const trace::Trace t = trace::load_trace(argv[2]);
+  const trace::Trace t = tracestore::load_trace_any(argv[2]);
   const trace::TraceStats s = t.stats(2);
   std::printf("references      %llu\n",
               static_cast<unsigned long long>(s.references));
@@ -92,7 +104,7 @@ int cmd_stats(int argc, char** argv) {
 
 int cmd_profile(int argc, char** argv) {
   if (argc < 4) return usage();
-  const trace::Trace t = trace::load_trace(argv[2]);
+  const trace::Trace t = tracestore::load_trace_any(argv[2]);
   const cache::CacheGeometry geom(
       static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
   const profile::ConflictProfile p =
@@ -123,7 +135,7 @@ int cmd_profile(int argc, char** argv) {
 
 int cmd_optimize(int argc, char** argv) {
   if (argc < 5) return usage();
-  const trace::Trace t = trace::load_trace(argv[2]);
+  const trace::Trace t = tracestore::load_trace_any(argv[2]);
   const cache::CacheGeometry geom(
       static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
   search::OptimizeOptions options;
@@ -154,7 +166,7 @@ int cmd_optimize(int argc, char** argv) {
 
 int cmd_simulate(int argc, char** argv) {
   if (argc < 4) return usage();
-  const trace::Trace t = trace::load_trace(argv[2]);
+  const trace::Trace t = tracestore::load_trace_any(argv[2]);
   const cache::CacheGeometry geom(
       static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
   std::unique_ptr<hash::IndexFunction> f;
@@ -233,6 +245,7 @@ int cmd_engine(int argc, char** argv) {
   std::vector<std::string> cache_list = {"1024", "4096", "16384"};
   std::vector<std::string> class_list = {"base", "perm:2", "perm"};
   std::vector<std::string> trace_files;
+  bool mmap_traces = false;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -241,6 +254,8 @@ int cmd_engine(int argc, char** argv) {
     };
     if (arg == "--small") {
       scale = workloads::Scale::small;
+    } else if (arg == "--mmap") {
+      mmap_traces = true;
     } else if (arg == "--caches") {
       const char* v = value();
       if (!v) return usage();
@@ -288,8 +303,10 @@ int cmd_engine(int argc, char** argv) {
     workloads::Workload w = workloads::make_workload(name, scale);
     spec.add_trace(w.name, std::move(w.data));
   }
+  // Trace files are opened through the trace store: --mmap streams them
+  // chunk by chunk (O(chunk) resident), otherwise they load eagerly.
   for (const std::string& file : trace_files)
-    spec.add_trace(file, trace::load_trace(file));
+    spec.add_trace_file(file, file, mmap_traces);
   if (spec.traces.empty()) {
     std::fprintf(stderr, "no traces selected\n");
     return usage();
@@ -340,6 +357,76 @@ int cmd_engine(int argc, char** argv) {
   return 0;
 }
 
+int cmd_trace_convert(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string in = argv[3];
+  const std::string out = argv[4];
+  tracestore::TraceFormat to = tracestore::TraceFormat::v2;
+  std::uint32_t chunk = tracestore::default_chunk_capacity;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--to" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "v1")
+        to = tracestore::TraceFormat::v1;
+      else if (v == "v2")
+        to = tracestore::TraceFormat::v2;
+      else
+        return usage();
+    } else if (arg == "--chunk" && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v < 1) return usage();
+      chunk = static_cast<std::uint32_t>(v);
+    } else {
+      return usage();
+    }
+  }
+  const tracestore::TraceId id = tracestore::convert_trace(in, out, to, chunk);
+  // Header-only metadata (a trace_file_info on a v1 output would re-scan
+  // the whole file just to recompute the id we already have).
+  const std::uint64_t accesses =
+      to == tracestore::TraceFormat::v2
+          ? tracestore::MmapTraceReader(out).info().accesses
+          : tracestore::V1FileSource(out).size();
+  std::printf("wrote %s (%s, %llu accesses, %llu bytes, id %s)\n",
+              out.c_str(), to == tracestore::TraceFormat::v2 ? "v2" : "v1",
+              static_cast<unsigned long long>(accesses),
+              static_cast<unsigned long long>(
+                  std::filesystem::file_size(out)),
+              id.to_string().c_str());
+  return 0;
+}
+
+int cmd_trace_info(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const tracestore::TraceFileInfo info = tracestore::trace_file_info(argv[3]);
+  std::printf("format          v%d%s\n", info.version,
+              info.version == 2 ? " (chunk-compressed)" : " (fixed records)");
+  std::printf("accesses        %llu\n",
+              static_cast<unsigned long long>(info.accesses));
+  if (info.version == 2) {
+    std::printf("chunks          %llu (capacity %u accesses)\n",
+                static_cast<unsigned long long>(info.chunks),
+                info.chunk_capacity);
+  }
+  std::printf("file size       %llu bytes (%.2f bytes/access)\n",
+              static_cast<unsigned long long>(info.file_bytes),
+              info.accesses == 0
+                  ? 0.0
+                  : static_cast<double>(info.file_bytes) /
+                        static_cast<double>(info.accesses));
+  std::printf("content id      %s\n", info.id.to_string().c_str());
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "convert") return cmd_trace_convert(argc, argv);
+  if (sub == "info") return cmd_trace_info(argc, argv);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,6 +439,7 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(argc, argv);
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "engine") return cmd_engine(argc, argv);
+    if (command == "trace") return cmd_trace(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,9 +1,11 @@
 #include "cache/simulate.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "cache/direct_mapped.hpp"
 #include "cache/fully_associative.hpp"
+#include "tracestore/trace_source.hpp"
 
 namespace xoridx::cache {
 
@@ -56,6 +58,60 @@ MissBreakdown classify_misses(const trace::Trace& t,
     else
       ++out.conflict;
   }
+  return out;
+}
+
+CacheStats simulate_direct_mapped(tracestore::TraceSource& source,
+                                  const CacheGeometry& geometry,
+                                  const hash::IndexFunction& index_fn) {
+  source.reset();
+  DirectMappedCache cache(geometry, index_fn);
+  const int shift = geometry.offset_bits();
+  tracestore::for_each_access(source, [&](const trace::Access& a) {
+    cache.access(a.addr >> shift);
+  });
+  return cache.stats();
+}
+
+CacheStats simulate_fully_associative(tracestore::TraceSource& source,
+                                      const CacheGeometry& geometry) {
+  source.reset();
+  FullyAssociativeCache cache(geometry.num_blocks());
+  const int shift = geometry.offset_bits();
+  tracestore::for_each_access(source, [&](const trace::Access& a) {
+    cache.access(a.addr >> shift);
+  });
+  return cache.stats();
+}
+
+MissBreakdown classify_misses(tracestore::TraceSource& source,
+                              const CacheGeometry& geometry,
+                              const hash::IndexFunction& index_fn) {
+  source.reset();
+  DirectMappedCache dm(geometry, index_fn);
+  FullyAssociativeCache fa(geometry.num_blocks());
+  std::unordered_set<std::uint64_t> seen;
+  // Distinct blocks <= references, but for huge streamed traces cap the
+  // upfront bucket reservation; the set still grows to the footprint.
+  seen.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(source.size(), std::uint64_t{1} << 22)));
+  MissBreakdown out;
+  const int shift = geometry.offset_bits();
+  tracestore::for_each_access(source, [&](const trace::Access& a) {
+    const std::uint64_t block = a.addr >> shift;
+    ++out.accesses;
+    const bool dm_hit = dm.access(block);
+    const bool fa_hit = fa.access(block);
+    const bool first_touch = seen.insert(block).second;
+    if (dm_hit) return;
+    ++out.misses;
+    if (first_touch)
+      ++out.compulsory;
+    else if (!fa_hit)
+      ++out.capacity;
+    else
+      ++out.conflict;
+  });
   return out;
 }
 

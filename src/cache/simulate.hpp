@@ -8,6 +8,10 @@
 #include "hash/index_function.hpp"
 #include "trace/trace.hpp"
 
+namespace xoridx::tracestore {
+class TraceSource;
+}
+
 namespace xoridx::cache {
 
 /// Run a trace through a direct-mapped cache using `index_fn` and return
@@ -43,5 +47,21 @@ struct MissBreakdown {
 [[nodiscard]] MissBreakdown classify_misses(const trace::Trace& t,
                                             const CacheGeometry& geometry,
                                             const hash::IndexFunction& index_fn);
+
+// Streaming variants: one pass pulled from a TraceSource (each driver
+// resets the source first, so one source object serves several passes).
+// Results are identical to the in-memory overloads; resident decoded
+// state stays bounded by the source's batch/chunk size.
+
+[[nodiscard]] CacheStats simulate_direct_mapped(
+    tracestore::TraceSource& source, const CacheGeometry& geometry,
+    const hash::IndexFunction& index_fn);
+
+[[nodiscard]] CacheStats simulate_fully_associative(
+    tracestore::TraceSource& source, const CacheGeometry& geometry);
+
+[[nodiscard]] MissBreakdown classify_misses(
+    tracestore::TraceSource& source, const CacheGeometry& geometry,
+    const hash::IndexFunction& index_fn);
 
 }  // namespace xoridx::cache

@@ -9,6 +9,7 @@
 #include "hash/xor_function.hpp"
 #include "search/exhaustive_bit_select.hpp"
 #include "search/optimizer.hpp"
+#include "tracestore/store.hpp"
 
 namespace xoridx::engine {
 
@@ -43,10 +44,24 @@ FunctionConfig FunctionConfig::classify(std::string label) {
 }
 
 Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
-  for (const TraceEntry& entry : spec_.traces)
-    if (!entry.trace)
+  for (TraceEntry& entry : spec_.traces) {
+    if (!entry.trace && entry.path.empty())
       throw std::invalid_argument("campaign trace '" + entry.name +
-                                  "' is null");
+                                  "' has neither data nor a file path");
+    if (!entry.trace && !entry.streaming)  // eager file entry
+      entry.trace = std::make_shared<const trace::Trace>(
+          tracestore::load_trace_any(entry.path));
+    if (entry.streaming) {
+      // Header-level metadata only: the trace itself stays on disk.
+      const tracestore::TraceFileInfo info =
+          tracestore::trace_file_info(entry.path);
+      if (entry.id.empty()) entry.id = info.id;
+      entry.accesses = info.accesses;
+    } else {
+      if (entry.id.empty()) entry.id = tracestore::trace_id_of(*entry.trace);
+      entry.accesses = entry.trace->size();
+    }
+  }
   for (const cache::CacheGeometry& geom : spec_.geometries)
     if (geom.index_bits() > spec_.hashed_bits)
       throw std::invalid_argument(
@@ -67,47 +82,95 @@ cache::CacheStats Campaign::baseline_stats(std::size_t trace_index,
                                            std::size_t geometry_index) {
   const std::size_t key =
       trace_index * spec_.geometries.size() + geometry_index;
+  // Build-once like the ProfileCache: the first requester simulates, the
+  // jobs of the same cell that start concurrently wait on the shared
+  // future instead of each re-running the full-trace pass.
+  std::promise<cache::CacheStats> promise;
+  std::shared_future<cache::CacheStats> future;
+  bool builder = false;
   {
     std::lock_guard lock(baseline_mutex_);
-    auto it = baselines_.find(key);
-    if (it != baselines_.end()) return it->second;
+    auto [it, inserted] = baselines_.try_emplace(key);
+    if (inserted) {
+      it->second = promise.get_future().share();
+      builder = true;
+    }
+    future = it->second;
   }
-  // Compute outside the lock; concurrent duplicates produce the same
-  // deterministic value, so last-writer-wins is harmless.
-  const cache::CacheGeometry& geom = spec_.geometries[geometry_index];
-  const hash::XorFunction conventional =
-      hash::XorFunction::conventional(spec_.hashed_bits, geom.index_bits());
-  const cache::CacheStats stats = cache::simulate_direct_mapped(
-      *spec_.traces[trace_index].trace, geom, conventional);
-  std::lock_guard lock(baseline_mutex_);
-  baselines_.emplace(key, stats);
-  return stats;
+  if (builder) {
+    try {
+      const TraceEntry& entry = spec_.traces[trace_index];
+      const cache::CacheGeometry& geom = spec_.geometries[geometry_index];
+      const hash::XorFunction conventional = hash::XorFunction::conventional(
+          spec_.hashed_bits, geom.index_bits());
+      cache::CacheStats stats;
+      if (entry.streaming) {
+        const std::unique_ptr<tracestore::TraceSource> source =
+            Campaign::open_source(entry);
+        stats = cache::simulate_direct_mapped(*source, geom, conventional);
+      } else {
+        stats = cache::simulate_direct_mapped(*entry.trace, geom,
+                                              conventional);
+      }
+      promise.set_value(stats);
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard lock(baseline_mutex_);
+      baselines_.erase(key);  // don't cache the failure
+    }
+  }
+  return future.get();
+}
+
+std::unique_ptr<tracestore::TraceSource> Campaign::open_source(
+    const TraceEntry& entry) {
+  return tracestore::open_trace_source(entry.path);
 }
 
 JobResult Campaign::execute(const Job& job) {
-  const trace::Trace& trace = *spec_.traces[job.trace_index].trace;
+  const TraceEntry& entry = spec_.traces[job.trace_index];
   const cache::CacheGeometry& geom = spec_.geometries[job.geometry_index];
 
   JobResult result;
-  result.trace_name = spec_.traces[job.trace_index].name;
+  result.trace_name = entry.name;
   result.geometry = geom;
   result.label = job.label;
   result.kind = kind_name(job.payload);
 
+  // Every alternative below has two arms with identical results: the
+  // in-memory arm iterates entry.trace, the streaming arm pulls fresh
+  // TraceSources so decoded memory stays O(chunk) per running job.
   struct Visitor {
     Campaign& self;
     const Job& job;
-    const trace::Trace& trace;
+    const TraceEntry& entry;
     const cache::CacheGeometry& geom;
     JobResult& out;
+
+    [[nodiscard]] ProfileCache::ProfilePtr profile() const {
+      if (entry.streaming) {
+        const std::unique_ptr<tracestore::TraceSource> source =
+            Campaign::open_source(entry);
+        return self.profile_cache_.get_or_build(entry.id, *source, geom,
+                                                self.spec_.hashed_bits);
+      }
+      return self.profile_cache_.get_or_build(entry.id, *entry.trace, geom,
+                                              self.spec_.hashed_bits);
+    }
 
     void operator()(const EvaluateFunctionJob& j) const {
       const cache::CacheStats baseline =
           self.baseline_stats(job.trace_index, job.geometry_index);
       out.baseline_misses = baseline.misses;
       if (j.fully_associative) {
-        const cache::CacheStats stats =
-            cache::simulate_fully_associative(trace, geom);
+        cache::CacheStats stats;
+        if (entry.streaming) {
+          const std::unique_ptr<tracestore::TraceSource> source =
+              Campaign::open_source(entry);
+          stats = cache::simulate_fully_associative(*source, geom);
+        } else {
+          stats = cache::simulate_fully_associative(*entry.trace, geom);
+        }
         out.accesses = stats.accesses;
         out.misses = stats.misses;
         out.function_description = "fully-associative LRU";
@@ -118,23 +181,41 @@ JobResult Campaign::execute(const Job& job) {
         out.misses = baseline.misses;
         return;
       }
-      const cache::CacheStats stats =
-          cache::simulate_direct_mapped(trace, geom, *j.function);
+      cache::CacheStats stats;
+      if (entry.streaming) {
+        const std::unique_ptr<tracestore::TraceSource> source =
+            Campaign::open_source(entry);
+        stats = cache::simulate_direct_mapped(*source, geom, *j.function);
+      } else {
+        stats = cache::simulate_direct_mapped(*entry.trace, geom, *j.function);
+      }
       out.accesses = stats.accesses;
       out.misses = stats.misses;
       out.function_description = j.function->describe();
     }
 
     void operator()(const OptimizeIndexJob& j) const {
-      const ProfileCache::ProfilePtr profile = self.profile_cache_.get_or_build(
-          trace, geom, self.spec_.hashed_bits);
+      const ProfileCache::ProfilePtr prof = profile();
       search::OptimizeOptions options;
       options.hashed_bits = self.spec_.hashed_bits;
       options.search.function_class = j.function_class;
       options.search.max_fan_in = j.max_fan_in;
       options.revert_if_worse = j.revert_if_worse;
-      const search::OptimizationResult r =
-          search::optimize_index_with_profile(trace, geom, *profile, options);
+      // The conventional-index run is memoized per (trace, geometry);
+      // passing it in saves every optimize job a full-trace simulation
+      // (a whole decode pass for streaming entries).
+      const cache::CacheStats baseline =
+          self.baseline_stats(job.trace_index, job.geometry_index);
+      search::OptimizationResult r;
+      if (entry.streaming) {
+        const std::unique_ptr<tracestore::TraceSource> source =
+            Campaign::open_source(entry);
+        r = search::optimize_index_with_profile(*source, geom, *prof,
+                                                options, &baseline);
+      } else {
+        r = search::optimize_index_with_profile(*entry.trace, geom, *prof,
+                                                options, &baseline);
+      }
       out.accesses = r.accesses;
       out.baseline_misses = r.baseline_misses;
       out.misses = r.optimized_misses;
@@ -146,14 +227,38 @@ JobResult Campaign::execute(const Job& job) {
     void operator()(const OptimalBitSelectJob& j) const {
       out.baseline_misses =
           self.baseline_stats(job.trace_index, job.geometry_index).misses;
-      search::ExhaustiveBitSelectResult r =
-          j.use_estimator
-              ? search::optimal_bit_select_estimated(
-                    trace, geom,
-                    *self.profile_cache_.get_or_build(trace, geom,
-                                                      self.spec_.hashed_bits))
-              : search::optimal_bit_select(trace, geom, self.spec_.hashed_bits);
-      out.accesses = trace.size();
+      const search::ExhaustiveBitSelectResult r = [&] {
+        if (j.use_estimator) {
+          const ProfileCache::ProfilePtr prof = profile();
+          if (entry.streaming) {
+            const std::unique_ptr<tracestore::TraceSource> source =
+                Campaign::open_source(entry);
+            return search::optimal_bit_select_estimated(*source, geom,
+                                                        *prof);
+          }
+          return search::optimal_bit_select_estimated(*entry.trace, geom,
+                                                      *prof);
+        }
+        if (entry.streaming) {
+          // The exhaustive search re-walks the trace per candidate, so a
+          // streaming entry extracts block addresses once (O(trace)
+          // uint64s, the one documented exception to the O(chunk) bound)
+          // instead of paying C(n, m) decode passes.
+          const std::unique_ptr<tracestore::TraceSource> source =
+              Campaign::open_source(entry);
+          std::vector<std::uint64_t> blocks;
+          blocks.reserve(static_cast<std::size_t>(source->size()));
+          const int shift = geom.offset_bits();
+          tracestore::for_each_access(*source, [&](const trace::Access& a) {
+            blocks.push_back(a.addr >> shift);
+          });
+          return search::optimal_bit_select_blocks(blocks, geom,
+                                                   self.spec_.hashed_bits);
+        }
+        return search::optimal_bit_select(*entry.trace, geom,
+                                          self.spec_.hashed_bits);
+      }();
+      out.accesses = entry.accesses;
       out.misses = r.misses;
       out.function_description = r.function.describe();
     }
@@ -161,8 +266,14 @@ JobResult Campaign::execute(const Job& job) {
     void operator()(const ClassifyMissesJob&) const {
       const hash::XorFunction conventional = hash::XorFunction::conventional(
           self.spec_.hashed_bits, geom.index_bits());
-      const cache::MissBreakdown b =
-          cache::classify_misses(trace, geom, conventional);
+      cache::MissBreakdown b;
+      if (entry.streaming) {
+        const std::unique_ptr<tracestore::TraceSource> source =
+            Campaign::open_source(entry);
+        b = cache::classify_misses(*source, geom, conventional);
+      } else {
+        b = cache::classify_misses(*entry.trace, geom, conventional);
+      }
       out.accesses = b.accesses;
       out.baseline_misses = b.misses;
       out.misses = b.misses;
@@ -170,7 +281,7 @@ JobResult Campaign::execute(const Job& job) {
       out.function_description = "conventional";
     }
   };
-  std::visit(Visitor{*this, job, trace, geom, result}, job.payload);
+  std::visit(Visitor{*this, job, entry, geom, result}, job.payload);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,12 +24,22 @@
 #include "engine/profile_cache.hpp"
 #include "engine/report.hpp"
 #include "trace/trace.hpp"
+#include "tracestore/trace_id.hpp"
+#include "tracestore/trace_source.hpp"
 
 namespace xoridx::engine {
 
+/// One trace of a sweep: either an in-memory Trace or a file opened
+/// through the trace store. A streaming (mmap) entry never materializes
+/// the trace — every job pulls its own TraceSource, keeping resident
+/// decoded memory O(chunk) per running job.
 struct TraceEntry {
   std::string name;
-  std::shared_ptr<const trace::Trace> trace;
+  std::shared_ptr<const trace::Trace> trace;  ///< null for streaming entries
+  std::string path;        ///< backing file; empty for in-memory entries
+  bool streaming = false;  ///< read through the trace store (mmap)
+  tracestore::TraceId id;  ///< stable content id; Campaign fills it if empty
+  std::uint64_t accesses = 0;  ///< filled by Campaign
 };
 
 /// One column of a sweep: a label plus the job payload run for every
@@ -65,9 +76,22 @@ struct SweepSpec {
 
   /// Convenience: take ownership of a trace under a name.
   void add_trace(std::string name, trace::Trace t) {
-    traces.push_back(
-        {std::move(name),
-         std::make_shared<const trace::Trace>(std::move(t))});
+    TraceEntry entry;
+    entry.name = std::move(name);
+    entry.trace = std::make_shared<const trace::Trace>(std::move(t));
+    traces.push_back(std::move(entry));
+  }
+
+  /// A trace file (v1 or v2). With `streaming` the campaign reads it
+  /// through the trace store chunk by chunk; otherwise it is loaded
+  /// eagerly at campaign construction.
+  void add_trace_file(std::string name, std::string path,
+                      bool streaming = false) {
+    TraceEntry entry;
+    entry.name = std::move(name);
+    entry.path = std::move(path);
+    entry.streaming = streaming;
+    traces.push_back(std::move(entry));
   }
 
   [[nodiscard]] std::size_t job_count() const {
@@ -114,16 +138,22 @@ class Campaign {
   [[nodiscard]] JobResult execute(const Job& job);
   [[nodiscard]] cache::CacheStats baseline_stats(std::size_t trace_index,
                                                  std::size_t geometry_index);
+  /// Fresh streaming source for a streaming entry (one per job pass).
+  [[nodiscard]] static std::unique_ptr<tracestore::TraceSource> open_source(
+      const TraceEntry& entry);
 
   SweepSpec spec_;
   std::vector<Job> jobs_;
   ProfileCache profile_cache_;
 
   /// Conventional-index simulation results, deduplicated per (trace,
-  /// geometry) like the profiles: every result row reports its baseline,
-  /// and the baseline config itself reuses the cached run.
+  /// geometry) like the profiles (first requester builds, concurrent
+  /// requesters share the future): every result row reports its
+  /// baseline, the baseline config reuses the cached run, and optimize
+  /// jobs pass it into the search to skip their internal re-simulation.
   std::mutex baseline_mutex_;
-  std::unordered_map<std::size_t, cache::CacheStats> baselines_;
+  std::unordered_map<std::size_t, std::shared_future<cache::CacheStats>>
+      baselines_;
 };
 
 }  // namespace xoridx::engine

@@ -9,7 +9,8 @@ std::size_t ProfileCache::KeyHash::operator()(const Key& k) const noexcept {
     h ^= v;
     h *= 1099511628211ull;
   };
-  mix(reinterpret_cast<std::uintptr_t>(k.trace));
+  mix(k.id.lo);
+  mix(k.id.hi);
   mix(k.geometry.size_bytes);
   mix(k.geometry.block_bytes);
   mix(k.geometry.associativity);
@@ -17,10 +18,9 @@ std::size_t ProfileCache::KeyHash::operator()(const Key& k) const noexcept {
   return static_cast<std::size_t>(h);
 }
 
-ProfileCache::ProfilePtr ProfileCache::get_or_build(
-    const trace::Trace& t, const cache::CacheGeometry& geometry,
-    int hashed_bits) {
-  const Key key{&t, geometry, hashed_bits};
+template <typename BuildFn>
+ProfileCache::ProfilePtr ProfileCache::get_or_build_impl(const Key& key,
+                                                         BuildFn&& build) {
   std::promise<ProfilePtr> promise;
   std::shared_future<ProfilePtr> future;
   bool builder = false;
@@ -39,12 +39,41 @@ ProfileCache::ProfilePtr ProfileCache::get_or_build(
   if (builder) {
     try {
       promise.set_value(std::make_shared<const profile::ConflictProfile>(
-          profile::build_conflict_profile(t, geometry, hashed_bits)));
+          build()));
     } catch (...) {
       promise.set_exception(std::current_exception());
+      // Don't cache the failure: peers already waiting on this future see
+      // the exception, but later requests retry the build instead of
+      // rethrowing a stale error (and being miscounted as hits) forever.
+      std::lock_guard lock(mutex_);
+      entries_.erase(key);
     }
   }
   return future.get();
+}
+
+ProfileCache::ProfilePtr ProfileCache::get_or_build(
+    const trace::Trace& t, const cache::CacheGeometry& geometry,
+    int hashed_bits) {
+  return get_or_build(tracestore::trace_id_of(t), t, geometry, hashed_bits);
+}
+
+ProfileCache::ProfilePtr ProfileCache::get_or_build(
+    const tracestore::TraceId& id, const trace::Trace& t,
+    const cache::CacheGeometry& geometry, int hashed_bits) {
+  const Key key{id, geometry, hashed_bits};
+  return get_or_build_impl(key, [&] {
+    return profile::build_conflict_profile(t, geometry, hashed_bits);
+  });
+}
+
+ProfileCache::ProfilePtr ProfileCache::get_or_build(
+    const tracestore::TraceId& id, tracestore::TraceSource& source,
+    const cache::CacheGeometry& geometry, int hashed_bits) {
+  const Key key{id, geometry, hashed_bits};
+  return get_or_build_impl(key, [&] {
+    return profile::build_conflict_profile(source, geometry, hashed_bits);
+  });
 }
 
 std::size_t ProfileCache::size() const {

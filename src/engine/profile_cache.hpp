@@ -1,11 +1,17 @@
 // Shared, thread-safe cache of ConflictProfile construction.
 //
-// Profiling a trace (Figure 1) depends only on the trace, the cache
-// geometry and n — one profile serves every function class and fan-in
-// limit of a sweep row. In a campaign the profile is by far the most
-// expensive shared prefix, so concurrent jobs deduplicate it here: the
-// first requester builds, everyone else blocks on a shared_future for the
-// same key. Hit/miss counters make the dedup observable (and testable).
+// Profiling a trace (Figure 1) depends only on the trace content, the
+// cache geometry and n — one profile serves every function class and
+// fan-in limit of a sweep row. In a campaign the profile is by far the
+// most expensive shared prefix, so concurrent jobs deduplicate it here:
+// the first requester builds, everyone else blocks on a shared_future for
+// the same key. Hit/miss counters make the dedup observable (and
+// testable).
+//
+// Entries are keyed by the trace's content TraceId (tracestore/), not its
+// address: two distinct Trace objects with equal content share one entry,
+// a file-backed streaming trace shares with its in-memory copy, and
+// nothing requires the caller to keep a particular object alive.
 #pragma once
 
 #include <atomic>
@@ -18,6 +24,8 @@
 #include "cache/geometry.hpp"
 #include "profile/conflict_profile.hpp"
 #include "trace/trace.hpp"
+#include "tracestore/trace_id.hpp"
+#include "tracestore/trace_source.hpp"
 
 namespace xoridx::engine {
 
@@ -25,11 +33,26 @@ class ProfileCache {
  public:
   using ProfilePtr = std::shared_ptr<const profile::ConflictProfile>;
 
-  /// Return the profile for (trace, geometry, hashed_bits), building it on
-  /// first request. Thread-safe; concurrent requests for one key build
-  /// exactly once. The trace is identified by address: callers must keep
-  /// it alive and in place for the lifetime of the cache entry.
+  /// Return the profile for (trace content, geometry, hashed_bits),
+  /// building it on first request. Thread-safe; concurrent requests for
+  /// one key build exactly once. Computes the trace's content id (one
+  /// extra pass); callers that already know it should use the id-taking
+  /// overloads.
   [[nodiscard]] ProfilePtr get_or_build(const trace::Trace& t,
+                                        const cache::CacheGeometry& geometry,
+                                        int hashed_bits);
+
+  /// Same, with a precomputed content id for `t`.
+  [[nodiscard]] ProfilePtr get_or_build(const tracestore::TraceId& id,
+                                        const trace::Trace& t,
+                                        const cache::CacheGeometry& geometry,
+                                        int hashed_bits);
+
+  /// Streaming build: on a miss, a single pass is pulled from `source`
+  /// (reset first); decoded trace state stays bounded by the source's
+  /// chunk size. `id` must be the source's content id.
+  [[nodiscard]] ProfilePtr get_or_build(const tracestore::TraceId& id,
+                                        tracestore::TraceSource& source,
                                         const cache::CacheGeometry& geometry,
                                         int hashed_bits);
 
@@ -41,7 +64,7 @@ class ProfileCache {
 
  private:
   struct Key {
-    const trace::Trace* trace;
+    tracestore::TraceId id;
     cache::CacheGeometry geometry;
     int hashed_bits;
     friend bool operator==(const Key&, const Key&) = default;
@@ -49,6 +72,9 @@ class ProfileCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept;
   };
+
+  template <typename BuildFn>
+  ProfilePtr get_or_build_impl(const Key& key, BuildFn&& build);
 
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_future<ProfilePtr>, KeyHash> entries_;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "profile/fenwick.hpp"
+#include "tracestore/trace_source.hpp"
 
 namespace xoridx::profile {
 
@@ -40,57 +41,94 @@ std::size_t ConflictProfile::distinct_vectors() const {
   return count;
 }
 
-ConflictProfile build_conflict_profile(const trace::Trace& t,
-                                       const cache::CacheGeometry& geometry,
-                                       int hashed_bits) {
-  ConflictProfile profile(hashed_bits, geometry.num_blocks());
-  const gf2::Word mask = gf2::mask_of(hashed_bits);
-  const int shift = geometry.offset_bits();
-  // Figure 1: a reference whose reuse distance exceeds the cache size (in
-  // blocks) is a capacity miss and contributes no conflict vectors.
-  const std::uint64_t limit = geometry.num_blocks();
+namespace {
+
+/// Figure 1 as a per-access state machine, so the in-memory and streaming
+/// overloads run the exact same sequence of steps (and therefore produce
+/// identical profiles).
+class ProfileBuildState {
+ public:
+  ProfileBuildState(ConflictProfile& profile,
+                    const cache::CacheGeometry& geometry, int hashed_bits,
+                    std::uint64_t total_refs)
+      : profile_(profile),
+        mask_(gf2::mask_of(hashed_bits)),
+        shift_(geometry.offset_bits()),
+        // Figure 1: a reference whose reuse distance exceeds the cache
+        // size (in blocks) is a capacity miss and contributes no conflict
+        // vectors.
+        limit_(geometry.num_blocks()),
+        marks_(static_cast<std::size_t>(total_refs)) {}
+
+  void step(std::uint64_t addr) {
+    const std::uint64_t block = addr >> shift_;
+    ++profile_.references;
+    const auto it = where_.find(block);
+    if (it == where_.end()) {
+      ++profile_.compulsory_refs;
+      stack_.push_front(block);
+      where_[block] = stack_.begin();
+    } else {
+      const std::size_t prev = last_pos_[block];
+      const auto distance = static_cast<std::uint64_t>(
+          marks_.total() - marks_.prefix(prev + 1));
+      if (distance > limit_) {
+        ++profile_.capacity_filtered_refs;
+      } else {
+        ++profile_.profiled_refs;
+        // The `distance` blocks above this one on the stack are exactly
+        // the distinct blocks referenced since its previous use.
+        auto walker = stack_.begin();
+        for (std::uint64_t i = 0; i < distance; ++i, ++walker) {
+          profile_.add((block ^ *walker) & mask_);
+          ++profile_.pair_count;
+        }
+      }
+      stack_.splice(stack_.begin(), stack_, it->second);
+      marks_.add(prev, -1);
+    }
+    marks_.add(pos_, +1);
+    last_pos_[block] = pos_;
+    ++pos_;
+  }
+
+ private:
+  ConflictProfile& profile_;
+  const gf2::Word mask_;
+  const int shift_;
+  const std::uint64_t limit_;
 
   // LRU stack (front = most recently used) with an exact reuse-distance
   // precheck: a Fenwick tree over reference timestamps counts the blocks
   // more recent than the previous use, so deep references cost O(log N)
   // instead of a full capacity-length walk.
-  std::list<std::uint64_t> stack;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> where;
-  std::unordered_map<std::uint64_t, std::size_t> last_pos;
-  Fenwick marks(t.size());
-  std::size_t pos = 0;
+  std::list<std::uint64_t> stack_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      where_;
+  std::unordered_map<std::uint64_t, std::size_t> last_pos_;
+  Fenwick marks_;
+  std::size_t pos_ = 0;
+};
 
-  for (const trace::Access& a : t) {
-    const std::uint64_t block = a.addr >> shift;
-    ++profile.references;
-    const auto it = where.find(block);
-    if (it == where.end()) {
-      ++profile.compulsory_refs;
-      stack.push_front(block);
-      where[block] = stack.begin();
-    } else {
-      const std::size_t prev = last_pos[block];
-      const auto distance =
-          static_cast<std::uint64_t>(marks.total() - marks.prefix(prev + 1));
-      if (distance > limit) {
-        ++profile.capacity_filtered_refs;
-      } else {
-        ++profile.profiled_refs;
-        // The `distance` blocks above this one on the stack are exactly
-        // the distinct blocks referenced since its previous use.
-        auto walker = stack.begin();
-        for (std::uint64_t i = 0; i < distance; ++i, ++walker) {
-          profile.add((block ^ *walker) & mask);
-          ++profile.pair_count;
-        }
-      }
-      stack.splice(stack.begin(), stack, it->second);
-      marks.add(prev, -1);
-    }
-    marks.add(pos, +1);
-    last_pos[block] = pos;
-    ++pos;
-  }
+}  // namespace
+
+ConflictProfile build_conflict_profile(const trace::Trace& t,
+                                       const cache::CacheGeometry& geometry,
+                                       int hashed_bits) {
+  ConflictProfile profile(hashed_bits, geometry.num_blocks());
+  ProfileBuildState state(profile, geometry, hashed_bits, t.size());
+  for (const trace::Access& a : t) state.step(a.addr);
+  return profile;
+}
+
+ConflictProfile build_conflict_profile(tracestore::TraceSource& source,
+                                       const cache::CacheGeometry& geometry,
+                                       int hashed_bits) {
+  ConflictProfile profile(hashed_bits, geometry.num_blocks());
+  source.reset();
+  ProfileBuildState state(profile, geometry, hashed_bits, source.size());
+  tracestore::for_each_access(
+      source, [&state](const trace::Access& a) { state.step(a.addr); });
   return profile;
 }
 

@@ -17,6 +17,10 @@
 #include "gf2/subspace.hpp"
 #include "trace/trace.hpp"
 
+namespace xoridx::tracestore {
+class TraceSource;
+}
+
 namespace xoridx::profile {
 
 class ConflictProfile {
@@ -57,6 +61,17 @@ class ConflictProfile {
   std::uint64_t profiled_refs = 0;
   std::uint64_t pair_count = 0;  ///< total (x, y) pairs counted
 
+  /// Full-state equality (table and bookkeeping) — what the streaming
+  /// identity tests and benches assert.
+  friend bool operator==(const ConflictProfile& a, const ConflictProfile& b) {
+    return a.n_ == b.n_ && a.capacity_blocks_ == b.capacity_blocks_ &&
+           a.table_ == b.table_ && a.references == b.references &&
+           a.compulsory_refs == b.compulsory_refs &&
+           a.capacity_filtered_refs == b.capacity_filtered_refs &&
+           a.profiled_refs == b.profiled_refs &&
+           a.pair_count == b.pair_count;
+  }
+
  private:
   int n_;
   std::uint32_t capacity_blocks_;
@@ -69,6 +84,15 @@ class ConflictProfile {
 /// addresses with geometry.offset_bits().
 [[nodiscard]] ConflictProfile build_conflict_profile(
     const trace::Trace& t, const cache::CacheGeometry& geometry,
+    int hashed_bits);
+
+/// Streaming variant: a single pass pulled from a TraceSource (the source
+/// is reset first), byte-identical to the in-memory overload. Decoded
+/// trace state stays bounded by the source's batch/chunk size; only the
+/// profiling structures themselves (LRU stack, Fenwick tree) scale with
+/// the trace.
+[[nodiscard]] ConflictProfile build_conflict_profile(
+    tracestore::TraceSource& source, const cache::CacheGeometry& geometry,
     int hashed_bits);
 
 }  // namespace xoridx::profile

@@ -4,10 +4,12 @@
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "cache/simulate.hpp"
 #include "search/estimator.hpp"
+#include "tracestore/trace_source.hpp"
 
 namespace xoridx::search {
 
@@ -102,14 +104,19 @@ void for_each_combination(int n, int m, F&& visit) {
 ExhaustiveBitSelectResult optimal_bit_select(
     const trace::Trace& t, const cache::CacheGeometry& geometry,
     int hashed_bits) {
+  const std::vector<std::uint64_t> blocks =
+      t.block_addresses(geometry.offset_bits());
+  return optimal_bit_select_blocks(blocks, geometry, hashed_bits);
+}
+
+ExhaustiveBitSelectResult optimal_bit_select_blocks(
+    std::span<const std::uint64_t> blocks,
+    const cache::CacheGeometry& geometry, int hashed_bits) {
   if (hashed_bits > 16)
     throw std::invalid_argument("optimal_bit_select supports n <= 16");
   const int m = geometry.index_bits();
   const int n = hashed_bits;
   if (m > n) throw std::invalid_argument("index bits exceed hashed bits");
-
-  const std::vector<std::uint64_t> blocks =
-      t.block_addresses(geometry.offset_bits());
 
   ExhaustiveBitSelectResult result{
       hash::BitSelectFunction::conventional(n, m), ~std::uint64_t{0}, 0};
@@ -127,8 +134,12 @@ ExhaustiveBitSelectResult optimal_bit_select(
   return result;
 }
 
-ExhaustiveBitSelectResult optimal_bit_select_estimated(
-    const trace::Trace& t, const cache::CacheGeometry& geometry,
+namespace {
+
+/// The estimator scan shared by both optimal_bit_select_estimated
+/// overloads: pick the selection minimizing the Eq.-4 estimate.
+std::pair<hash::BitSelectFunction, std::uint64_t> pick_estimated(
+    const cache::CacheGeometry& geometry,
     const profile::ConflictProfile& profile) {
   const int n = profile.hashed_bits();
   const int m = geometry.index_bits();
@@ -147,10 +158,27 @@ ExhaustiveBitSelectResult optimal_bit_select_estimated(
       best_mask = mask;
     }
   });
+  return {hash::BitSelectFunction(n, mask_to_positions(best_mask)),
+          candidates};
+}
 
-  hash::BitSelectFunction fn(n, mask_to_positions(best_mask));
+}  // namespace
+
+ExhaustiveBitSelectResult optimal_bit_select_estimated(
+    const trace::Trace& t, const cache::CacheGeometry& geometry,
+    const profile::ConflictProfile& profile) {
+  auto [fn, candidates] = pick_estimated(geometry, profile);
   const cache::CacheStats stats =
       cache::simulate_direct_mapped(t, geometry, fn);
+  return ExhaustiveBitSelectResult{std::move(fn), stats.misses, candidates};
+}
+
+ExhaustiveBitSelectResult optimal_bit_select_estimated(
+    tracestore::TraceSource& source, const cache::CacheGeometry& geometry,
+    const profile::ConflictProfile& profile) {
+  auto [fn, candidates] = pick_estimated(geometry, profile);
+  const cache::CacheStats stats =
+      cache::simulate_direct_mapped(source, geometry, fn);
   return ExhaustiveBitSelectResult{std::move(fn), stats.misses, candidates};
 }
 

@@ -19,6 +19,10 @@
 #include "search/search_types.hpp"
 #include "trace/trace.hpp"
 
+namespace xoridx::tracestore {
+class TraceSource;
+}
+
 namespace xoridx::search {
 
 struct ExhaustiveBitSelectResult {
@@ -34,11 +38,25 @@ struct ExhaustiveBitSelectResult {
     const trace::Trace& t, const cache::CacheGeometry& geometry,
     int hashed_bits);
 
+/// Same, over a pre-extracted block-address sequence. The exhaustive
+/// algorithm is inherently multi-pass (every candidate re-walks the
+/// trace), so streaming callers extract blocks once and pay O(trace)
+/// uint64s rather than C(n, m) decode passes.
+[[nodiscard]] ExhaustiveBitSelectResult optimal_bit_select_blocks(
+    std::span<const std::uint64_t> blocks, const cache::CacheGeometry& geometry,
+    int hashed_bits);
+
 /// Estimator-guided variant: picks the selection minimizing the Eq.-4
 /// estimate instead of exact misses. Used by the estimator-accuracy
 /// ablation to quantify the profiling heuristic's error in isolation.
 [[nodiscard]] ExhaustiveBitSelectResult optimal_bit_select_estimated(
     const trace::Trace& t, const cache::CacheGeometry& geometry,
+    const profile::ConflictProfile& profile);
+
+/// Streaming variant: the estimator scan needs only the profile; the one
+/// exact simulation of the winner streams a single pass from the source.
+[[nodiscard]] ExhaustiveBitSelectResult optimal_bit_select_estimated(
+    tracestore::TraceSource& source, const cache::CacheGeometry& geometry,
     const profile::ConflictProfile& profile);
 
 }  // namespace xoridx::search

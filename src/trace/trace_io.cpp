@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -48,8 +49,29 @@ Trace read_trace(std::istream& is) {
   if (!is || std::memcmp(got.data(), magic.data(), magic.size()) != 0)
     throw std::runtime_error("bad trace magic");
   const std::uint64_t count = get_u64(is);
+  // Never trust the declared count blindly: on a seekable stream, check it
+  // against the bytes actually present so a corrupt or truncated header
+  // fails with a clear error instead of bad_alloc or a silent short read.
+  constexpr std::uint64_t record_bytes = 9;  // uint64 addr + kind byte
+  const std::istream::pos_type here = is.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (end != std::istream::pos_type(-1) && end >= here) {
+      const auto remaining = static_cast<std::uint64_t>(end - here);
+      if (remaining / record_bytes < count)
+        throw std::runtime_error(
+            "trace file truncated: header declares " + std::to_string(count) +
+            " accesses but only " + std::to_string(remaining) +
+            " payload bytes remain");
+    }
+  }
   std::vector<Access> accesses;
-  accesses.reserve(count);
+  // Cap the blind preallocation so a lying header on a non-seekable
+  // stream cannot trigger bad_alloc; the vector grows normally past this.
+  accesses.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, std::uint64_t{1} << 20)));
   for (std::uint64_t i = 0; i < count; ++i) {
     Access a;
     a.addr = get_u64(is);

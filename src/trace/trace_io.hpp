@@ -1,9 +1,11 @@
-// Binary serialization of traces.
+// Binary serialization of traces (the v1 fixed-record format).
 //
 // Format: 8-byte magic "XORIDXT1", uint64 count, then per access a
 // little-endian uint64 address and a uint8 kind. Compact enough for the
 // laptop-scale traces this study uses, with a version byte in the magic
-// for forward evolution.
+// for forward evolution. For traces larger than memory use the chunk-
+// compressed v2 format and streaming readers in src/tracestore/
+// (tracestore::load_trace_any reads either format).
 #pragma once
 
 #include <iosfwd>

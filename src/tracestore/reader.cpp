@@ -1,0 +1,262 @@
+#include "tracestore/reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define XORIDX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace xoridx::tracestore {
+
+// ---------------------------------------------------------------- MappedFile
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+#if XORIDX_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot open " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot stat " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    map_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map_ == MAP_FAILED) {
+      ::close(fd);
+      throw std::runtime_error("cannot mmap " + path);
+    }
+    data_ = static_cast<const unsigned char*>(map_);
+  }
+  ::close(fd);
+#else
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  is.seekg(0, std::ios::end);
+  fallback_.resize(static_cast<std::size_t>(is.tellg()));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(fallback_.data()),
+          static_cast<std::streamsize>(fallback_.size()));
+  if (!is) throw std::runtime_error("cannot read " + path);
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if XORIDX_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+// ----------------------------------------------------------- MmapTraceReader
+
+MmapTraceReader::MmapTraceReader(const std::string& path, bool prefetch)
+    : MmapTraceReader(std::make_shared<const MappedFile>(path), prefetch) {}
+
+MmapTraceReader::MmapTraceReader(std::shared_ptr<const MappedFile> file,
+                                 bool prefetch)
+    : file_(std::move(file)), prefetch_enabled_(prefetch) {
+  validate_and_load_header();
+}
+
+MmapTraceReader::~MmapTraceReader() {
+  // A std::async future joins on destruction; be explicit anyway so the
+  // decode task never outlives the mapping.
+  if (inflight_.valid()) inflight_.wait();
+}
+
+void MmapTraceReader::validate_and_load_header() {
+  const unsigned char* base = file_->data();
+  const std::size_t bytes = file_->size();
+  if (bytes < v2_header_bytes ||
+      std::memcmp(base, v2_magic.data(), v2_magic.size()) != 0)
+    throw std::runtime_error("bad v2 trace magic: " + file_->path());
+  const std::uint32_t header_bytes = load_le32(base + v2_off_header_bytes);
+  if (header_bytes != v2_header_bytes)
+    throw std::runtime_error("unsupported v2 header size in " +
+                             file_->path());
+  info_.version = 2;
+  info_.file_bytes = bytes;
+  info_.chunk_capacity = load_le32(base + v2_off_chunk_capacity);
+  info_.accesses = load_le64(base + v2_off_access_count);
+  info_.chunks = load_le64(base + v2_off_chunk_count);
+  info_.id = {load_le64(base + v2_off_id_lo), load_le64(base + v2_off_id_hi)};
+  if (info_.chunk_capacity == 0)
+    throw std::runtime_error("v2 trace has zero chunk capacity: " +
+                             file_->path());
+
+  const std::uint64_t index_offset = load_le64(base + v2_off_index_offset);
+  if (index_offset < v2_header_bytes || index_offset > bytes ||
+      info_.chunks > (bytes - index_offset) / 8)
+    throw std::runtime_error("v2 trace chunk index out of bounds: " +
+                             file_->path());
+
+  // Cross-check the declared total against the per-chunk counts (one
+  // bounds-checked header peek per chunk, O(chunks) at open): consumers
+  // size their structures from size(), so a lying total must fail here
+  // with a clear error, not produce silently wrong profiles.
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < info_.chunks; ++i)
+    sum += decode_chunk_header(base + chunk_offset(i)).count;
+  if (sum != info_.accesses)
+    throw std::runtime_error(
+        "v2 trace header declares " + std::to_string(info_.accesses) +
+        " accesses but chunks hold " + std::to_string(sum) + ": " +
+        file_->path());
+}
+
+std::uint64_t MmapTraceReader::chunk_offset(std::uint64_t idx) const {
+  const std::uint64_t index_offset =
+      load_le64(file_->data() + v2_off_index_offset);
+  const std::uint64_t off = load_le64(file_->data() + index_offset + 8 * idx);
+  // Offsets stored in the index are untrusted input too: every consumer
+  // (decode and the prefetch header peek) must stay inside the mapping.
+  // Subtraction form so a near-UINT64_MAX offset cannot wrap the check
+  // (file size >= v2_header_bytes > chunk header was validated at open).
+  if (off < v2_header_bytes ||
+      off > file_->size() - v2_chunk_header_bytes)
+    throw std::runtime_error("v2 trace chunk offset out of bounds: " +
+                             file_->path());
+  return off;
+}
+
+std::vector<trace::Access> MmapTraceReader::decode_chunk(
+    std::uint64_t idx) const {
+  const unsigned char* base = file_->data();
+  const std::size_t bytes = file_->size();
+  const std::uint64_t off = chunk_offset(idx);  // bounds-checked
+  const ChunkHeader h = decode_chunk_header(base + off);
+  if (h.count == 0 || h.count > info_.chunk_capacity)
+    throw std::runtime_error("v2 trace chunk count corrupt: " +
+                             file_->path());
+  const std::uint64_t payload_off = off + v2_chunk_header_bytes;
+  if (payload_off + h.payload_bytes > bytes ||
+      h.payload_bytes < h.count)  // at least the kind byte per access
+    throw std::runtime_error("v2 trace chunk payload out of bounds: " +
+                             file_->path());
+
+  std::vector<trace::Access> out;
+  out.reserve(h.count);
+  const unsigned char* p = base + payload_off;
+  // Kinds trail the address payload, one raw byte per access.
+  const unsigned char* addr_end = p + h.payload_bytes - h.count;
+  const unsigned char* kinds = addr_end;
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < h.count; ++i) {
+    const std::uint64_t addr =
+        prev + static_cast<std::uint64_t>(
+                   zigzag_decode(get_varint(p, addr_end)));
+    prev = addr;
+    if (addr < h.min_addr || addr > h.max_addr)
+      throw std::runtime_error("v2 trace address outside chunk bounds: " +
+                               file_->path());
+    const unsigned char kind = kinds[i];
+    if (kind > 2)
+      throw std::runtime_error("v2 trace has bad access kind: " +
+                               file_->path());
+    out.push_back({addr, static_cast<trace::AccessKind>(kind)});
+  }
+  if (p != addr_end)
+    throw std::runtime_error("v2 trace chunk payload length mismatch: " +
+                             file_->path());
+  return out;
+}
+
+void MmapTraceReader::note_resident(std::size_t resident) {
+  peak_decoded_ = std::max<std::uint64_t>(peak_decoded_, resident);
+}
+
+/// Swap the next decoded chunk into front_, preferring the prefetched one,
+/// and start prefetching its successor.
+void MmapTraceReader::advance_front() {
+  front_.clear();
+  front_pos_ = 0;
+  if (inflight_.valid()) {
+    front_ = inflight_.get();
+    inflight_count_ = 0;
+  } else if (next_chunk_ < info_.chunks) {
+    front_ = decode_chunk(next_chunk_++);
+  } else {
+    return;  // end of trace
+  }
+  if (prefetch_enabled_ && next_chunk_ < info_.chunks) {
+    const std::uint64_t idx = next_chunk_++;
+    inflight_count_ = decode_chunk_header(
+                          file_->data() + chunk_offset(idx)).count;
+    inflight_ = std::async(std::launch::async,
+                           [this, idx] { return decode_chunk(idx); });
+  }
+  note_resident(front_.size() + inflight_count_);
+}
+
+std::size_t MmapTraceReader::next_batch(std::span<trace::Access> out) {
+  std::size_t written = 0;
+  while (written < out.size()) {
+    if (front_pos_ == front_.size()) {
+      advance_front();
+      if (front_.empty()) break;
+    }
+    const std::size_t n =
+        std::min(out.size() - written, front_.size() - front_pos_);
+    std::copy_n(front_.begin() + static_cast<std::ptrdiff_t>(front_pos_), n,
+                out.begin() + static_cast<std::ptrdiff_t>(written));
+    front_pos_ += n;
+    written += n;
+  }
+  return written;
+}
+
+void MmapTraceReader::reset() {
+  if (inflight_.valid()) inflight_.get();
+  inflight_count_ = 0;
+  front_.clear();
+  front_pos_ = 0;
+  next_chunk_ = 0;
+}
+
+// -------------------------------------------------------------- V1FileSource
+
+V1FileSource::V1FileSource(const std::string& path)
+    : V1FileSource(std::make_shared<const MappedFile>(path)) {}
+
+V1FileSource::V1FileSource(std::shared_ptr<const MappedFile> file)
+    : file_(std::move(file)) {
+  const unsigned char* base = file_->data();
+  if (file_->size() < v1_header_bytes ||
+      std::memcmp(base, v1_magic.data(), v1_magic.size()) != 0)
+    throw std::runtime_error("bad v1 trace magic: " + file_->path());
+  count_ = load_le64(base + v1_magic.size());
+  const std::uint64_t body = file_->size() - v1_header_bytes;
+  if (count_ > body / v1_record_bytes)
+    throw std::runtime_error(
+        "trace file truncated: header declares " + std::to_string(count_) +
+        " accesses but only " + std::to_string(body) + " payload bytes in " +
+        file_->path());
+}
+
+std::size_t V1FileSource::next_batch(std::span<trace::Access> out) {
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(out.size(),
+                                                       count_ - pos_));
+  const unsigned char* p =
+      file_->data() + v1_header_bytes + pos_ * v1_record_bytes;
+  for (std::size_t i = 0; i < n; ++i, p += v1_record_bytes) {
+    const unsigned char kind = p[8];
+    if (kind > 2)
+      throw std::runtime_error("v1 trace has bad access kind: " +
+                               file_->path());
+    out[i] = {load_le64(p), static_cast<trace::AccessKind>(kind)};
+  }
+  pos_ += n;
+  return n;
+}
+
+}  // namespace xoridx::tracestore

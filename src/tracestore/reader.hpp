@@ -1,0 +1,118 @@
+// mmap-backed trace readers.
+//
+// MmapTraceReader streams a v2 file: the mapping itself is demand-paged by
+// the OS, and the reader decodes exactly one chunk at a time into an
+// Access buffer while a background task decodes the next chunk into a
+// second buffer (double buffering). Peak decoded state is therefore
+// bounded by two chunks regardless of trace length — the bound the
+// tracestore tests assert via peak_decoded_accesses().
+//
+// V1FileSource streams the fixed-record v1 format from a mapping with no
+// intermediate buffer at all (records are parsed straight into the
+// caller's batch).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tracestore/format.hpp"
+#include "tracestore/trace_id.hpp"
+#include "tracestore/trace_source.hpp"
+
+namespace xoridx::tracestore {
+
+/// Read-only file mapping (POSIX mmap; falls back to reading the whole
+/// file into memory on platforms without mmap).
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] const unsigned char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_ = nullptr;                   // non-null when mmap'd
+  std::vector<unsigned char> fallback_;   // used when mmap is unavailable
+};
+
+struct TraceFileInfo {
+  int version = 0;  ///< 1 or 2
+  std::uint64_t accesses = 0;
+  std::uint64_t chunks = 0;          ///< v2 only
+  std::uint32_t chunk_capacity = 0;  ///< v2 only
+  std::uint64_t file_bytes = 0;
+  TraceId id;  ///< v2: from the header; v1: computed by a streaming scan
+};
+
+/// Streaming decoder over a v2 mapping with double-buffered async
+/// prefetch of the next chunk. Not thread-safe; each consumer opens its
+/// own reader (mappings of one file share physical pages).
+class MmapTraceReader final : public TraceSource {
+ public:
+  explicit MmapTraceReader(const std::string& path, bool prefetch = true);
+  explicit MmapTraceReader(std::shared_ptr<const MappedFile> file,
+                           bool prefetch = true);
+  ~MmapTraceReader() override;
+
+  std::size_t next_batch(std::span<trace::Access> out) override;
+  void reset() override;
+  [[nodiscard]] std::uint64_t size() const override {
+    return info_.accesses;
+  }
+
+  [[nodiscard]] const TraceFileInfo& info() const noexcept { return info_; }
+
+  /// Largest number of decoded accesses resident at once (current buffer
+  /// plus any chunk being prefetched) — the observable O(chunk) bound.
+  [[nodiscard]] std::uint64_t peak_decoded_accesses() const noexcept {
+    return peak_decoded_;
+  }
+
+ private:
+  void validate_and_load_header();
+  [[nodiscard]] std::uint64_t chunk_offset(std::uint64_t idx) const;
+  [[nodiscard]] std::vector<trace::Access> decode_chunk(
+      std::uint64_t idx) const;
+  void advance_front();
+  void note_resident(std::size_t resident);
+
+  std::shared_ptr<const MappedFile> file_;
+  TraceFileInfo info_;
+  bool prefetch_enabled_;
+
+  std::vector<trace::Access> front_;  ///< decoded current chunk
+  std::size_t front_pos_ = 0;
+  std::uint64_t next_chunk_ = 0;  ///< next chunk not yet decoded/in flight
+  std::future<std::vector<trace::Access>> inflight_;
+  std::uint32_t inflight_count_ = 0;  ///< accesses in the in-flight chunk
+  std::uint64_t peak_decoded_ = 0;
+};
+
+/// Streaming reader over the fixed-record v1 format.
+class V1FileSource final : public TraceSource {
+ public:
+  explicit V1FileSource(const std::string& path);
+  explicit V1FileSource(std::shared_ptr<const MappedFile> file);
+
+  std::size_t next_batch(std::span<trace::Access> out) override;
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::uint64_t size() const override { return count_; }
+
+ private:
+  std::shared_ptr<const MappedFile> file_;
+  std::uint64_t count_ = 0;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace xoridx::tracestore

@@ -1,0 +1,107 @@
+#include "tracestore/store.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "tracestore/writer.hpp"
+
+namespace xoridx::tracestore {
+namespace {
+
+/// Streaming v1 writer counterpart of TraceWriter, used by convert_trace.
+/// The record count is known up front from the source, so the header is
+/// written once, no patching needed.
+TraceId write_v1_stream(const std::string& path, TraceSource& source) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  unsigned char header[v1_header_bytes];
+  std::memcpy(header, v1_magic.data(), v1_magic.size());
+  store_le64(header + v1_magic.size(), source.size());
+  os.write(reinterpret_cast<const char*>(header), v1_header_bytes);
+
+  TraceIdHasher hasher;
+  std::vector<unsigned char> buf;
+  for_each_access(source, [&](const trace::Access& a) {
+    unsigned char record[v1_record_bytes];
+    store_le64(record, a.addr);
+    record[8] = static_cast<unsigned char>(a.kind);
+    buf.insert(buf.end(), record, record + v1_record_bytes);
+    hasher.update(a);
+    if (buf.size() >= (1u << 20)) {
+      os.write(reinterpret_cast<const char*>(buf.data()),
+               static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  });
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+  if (!os) throw std::runtime_error("trace write failed: " + path);
+  return hasher.digest();
+}
+
+}  // namespace
+
+TraceFormat detect_trace_format(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::array<char, 8> got{};
+  is.read(got.data(), static_cast<std::streamsize>(got.size()));
+  if (is) {
+    if (std::memcmp(got.data(), v1_magic.data(), v1_magic.size()) == 0)
+      return TraceFormat::v1;
+    if (std::memcmp(got.data(), v2_magic.data(), v2_magic.size()) == 0)
+      return TraceFormat::v2;
+  }
+  throw std::runtime_error("not a trace file (bad magic): " + path);
+}
+
+TraceFileInfo trace_file_info(const std::string& path) {
+  const TraceFormat format = detect_trace_format(path);
+  if (format == TraceFormat::v2) return MmapTraceReader(path).info();
+
+  V1FileSource source(path);
+  TraceFileInfo info;
+  info.version = 1;
+  info.accesses = source.size();
+  info.file_bytes = v1_header_bytes + source.size() * v1_record_bytes;
+  TraceIdHasher hasher;
+  for_each_access(source, [&](const trace::Access& a) { hasher.update(a); });
+  info.id = hasher.digest();
+  return info;
+}
+
+std::unique_ptr<TraceSource> open_trace_source(const std::string& path) {
+  switch (detect_trace_format(path)) {
+    case TraceFormat::v1:
+      return std::make_unique<V1FileSource>(path);
+    case TraceFormat::v2:
+      return std::make_unique<MmapTraceReader>(path);
+  }
+  throw std::logic_error("unreachable");
+}
+
+trace::Trace load_trace_any(const std::string& path) {
+  const std::unique_ptr<TraceSource> source = open_trace_source(path);
+  return drain_to_trace(*source);
+}
+
+TraceId convert_trace(const std::string& in_path, const std::string& out_path,
+                      TraceFormat to, std::uint32_t chunk_capacity) {
+  // Refuse in-place conversion: the writer would truncate the input while
+  // the reader still has it mapped (SIGBUS mid-write, trace destroyed).
+  // equivalent() compares inode identity, so hardlinks and symlink
+  // aliases are caught too (it only answers when the output exists).
+  std::error_code ec;
+  if (std::filesystem::equivalent(in_path, out_path, ec) && !ec)
+    throw std::invalid_argument(
+        "trace convert: input and output are the same file: " + in_path);
+  const std::unique_ptr<TraceSource> source = open_trace_source(in_path);
+  if (to == TraceFormat::v2)
+    return save_trace_v2(out_path, *source, chunk_capacity);
+  return write_v1_stream(out_path, *source);
+}
+
+}  // namespace xoridx::tracestore

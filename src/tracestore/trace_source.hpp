@@ -1,0 +1,83 @@
+// Pull-based streaming access to a trace.
+//
+// TraceSource is the seam between trace storage and the single-pass
+// consumers (profiling, cache simulation): a consumer repeatedly fills a
+// batch buffer and never learns whether the bytes came from an in-memory
+// Trace, a v1 file or an mmap'd v2 chunk decoder. Multi-pass consumers
+// call reset() between passes; the streaming drivers in cache/simulate and
+// profile/ reset at entry, so one source object serves several passes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace xoridx::tracestore {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Copy up to out.size() accesses, in trace order, into `out`. Returns
+  /// the number written; 0 means end of trace.
+  virtual std::size_t next_batch(std::span<trace::Access> out) = 0;
+
+  /// Rewind to the first access.
+  virtual void reset() = 0;
+
+  /// Total accesses in the trace (known up front for every backend).
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+};
+
+/// Adapter over an in-memory Trace; optionally shares ownership.
+class MemorySource final : public TraceSource {
+ public:
+  explicit MemorySource(const trace::Trace& t) : trace_(&t) {}
+  explicit MemorySource(std::shared_ptr<const trace::Trace> t)
+      : owned_(std::move(t)), trace_(owned_.get()) {}
+
+  std::size_t next_batch(std::span<trace::Access> out) override {
+    const std::span<const trace::Access> all = trace_->accesses();
+    const std::size_t n = std::min(out.size(), all.size() - pos_);
+    for (std::size_t i = 0; i < n; ++i) out[i] = all[pos_ + i];
+    pos_ += n;
+    return n;
+  }
+
+  void reset() override { pos_ = 0; }
+
+  [[nodiscard]] std::uint64_t size() const override { return trace_->size(); }
+
+ private:
+  std::shared_ptr<const trace::Trace> owned_;
+  const trace::Trace* trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Drive `fn(const Access&)` over every access of the source from its
+/// current position, batch by batch. The batch buffer is the only decoded
+/// state this helper adds.
+template <typename F>
+void for_each_access(TraceSource& source, F&& fn,
+                     std::size_t batch_capacity = 4096) {
+  std::vector<trace::Access> buf(batch_capacity);
+  for (;;) {
+    const std::size_t got = source.next_batch(buf);
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) fn(buf[i]);
+  }
+}
+
+/// Materialize the remainder of a source into a Trace (eager fallback).
+[[nodiscard]] inline trace::Trace drain_to_trace(TraceSource& source) {
+  trace::Trace t;
+  t.reserve(static_cast<std::size_t>(source.size()));
+  for_each_access(source, [&t](const trace::Access& a) { t.append(a); });
+  return t;
+}
+
+}  // namespace xoridx::tracestore

@@ -1,0 +1,120 @@
+#include "tracestore/writer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xoridx::tracestore {
+
+TraceWriter::TraceWriter(const std::string& path,
+                         std::uint32_t chunk_capacity)
+    : path_(path),
+      os_(path, std::ios::binary | std::ios::trunc),
+      chunk_capacity_(chunk_capacity) {
+  if (chunk_capacity_ == 0)
+    throw std::invalid_argument("chunk capacity must be nonzero");
+  if (!os_)
+    throw std::runtime_error("cannot open " + path + " for writing");
+  pending_.reserve(chunk_capacity_);
+  // Placeholder header; finish() patches the totals in place.
+  unsigned char header[v2_header_bytes] = {};
+  std::copy(v2_magic.begin(), v2_magic.end(),
+            reinterpret_cast<char*>(header + v2_off_magic));
+  store_le32(header + v2_off_header_bytes,
+             static_cast<std::uint32_t>(v2_header_bytes));
+  store_le32(header + v2_off_chunk_capacity, chunk_capacity_);
+  os_.write(reinterpret_cast<const char*>(header), v2_header_bytes);
+  if (!os_) throw std::runtime_error("trace write failed: " + path);
+}
+
+TraceWriter::~TraceWriter() {
+  if (finished_) return;
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; an incomplete file fails magic/bounds
+    // validation on read.
+  }
+}
+
+void TraceWriter::append(const trace::Access& a) {
+  if (finished_)
+    throw std::logic_error("append after finish on trace writer");
+  pending_.push_back(a);
+  hasher_.update(a);
+  ++count_;
+  if (pending_.size() >= chunk_capacity_) flush_chunk();
+}
+
+void TraceWriter::flush_chunk() {
+  if (pending_.empty()) return;
+  ChunkHeader h;
+  h.count = static_cast<std::uint32_t>(pending_.size());
+  h.min_addr = pending_.front().addr;
+  h.max_addr = pending_.front().addr;
+
+  scratch_.clear();
+  // Addresses: zigzag varint deltas, base 0 at every chunk boundary so
+  // chunks decode independently (required for prefetch and seeking).
+  std::uint64_t prev = 0;
+  for (const trace::Access& a : pending_) {
+    put_varint(scratch_, zigzag_encode(static_cast<std::int64_t>(a.addr - prev)));
+    prev = a.addr;
+    h.min_addr = std::min(h.min_addr, a.addr);
+    h.max_addr = std::max(h.max_addr, a.addr);
+  }
+  for (const trace::Access& a : pending_)
+    scratch_.push_back(static_cast<unsigned char>(a.kind));
+  h.payload_bytes = static_cast<std::uint32_t>(scratch_.size());
+
+  chunk_offsets_.push_back(static_cast<std::uint64_t>(os_.tellp()));
+  unsigned char header[v2_chunk_header_bytes];
+  encode_chunk_header(header, h);
+  os_.write(reinterpret_cast<const char*>(header), v2_chunk_header_bytes);
+  os_.write(reinterpret_cast<const char*>(scratch_.data()),
+            static_cast<std::streamsize>(scratch_.size()));
+  if (!os_) throw std::runtime_error("trace write failed: " + path_);
+  pending_.clear();
+}
+
+TraceId TraceWriter::finish() {
+  if (finished_) return hasher_.digest();
+  flush_chunk();
+  const std::uint64_t index_offset = static_cast<std::uint64_t>(os_.tellp());
+  for (const std::uint64_t off : chunk_offsets_) {
+    unsigned char buf[8];
+    store_le64(buf, off);
+    os_.write(reinterpret_cast<const char*>(buf), 8);
+  }
+
+  const TraceId id = hasher_.digest();
+  unsigned char totals[v2_header_bytes - v2_off_access_count];
+  store_le64(totals + 0, count_);
+  store_le64(totals + 8, chunk_offsets_.size());
+  store_le64(totals + 16, index_offset);
+  store_le64(totals + 24, id.lo);
+  store_le64(totals + 32, id.hi);
+  store_le64(totals + 40, 0);  // reserved
+  os_.seekp(static_cast<std::streamoff>(v2_off_access_count));
+  os_.write(reinterpret_cast<const char*>(totals), sizeof(totals));
+  os_.flush();
+  if (!os_) throw std::runtime_error("trace write failed: " + path_);
+  os_.close();
+  finished_ = true;
+  return id;
+}
+
+TraceId save_trace_v2(const std::string& path, const trace::Trace& t,
+                      std::uint32_t chunk_capacity) {
+  MemorySource source(t);
+  return save_trace_v2(path, source, chunk_capacity);
+}
+
+TraceId save_trace_v2(const std::string& path, TraceSource& source,
+                      std::uint32_t chunk_capacity) {
+  TraceWriter writer(path, chunk_capacity);
+  for_each_access(source,
+                  [&writer](const trace::Access& a) { writer.append(a); });
+  return writer.finish();
+}
+
+}  // namespace xoridx::tracestore

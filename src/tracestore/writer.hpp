@@ -1,0 +1,68 @@
+// Chunked v2 trace writer.
+//
+// Appends accesses into a fixed-capacity chunk buffer; each full chunk is
+// delta+varint encoded and flushed, so resident memory stays O(chunk) no
+// matter how long the trace is. finish() writes the trailing chunk index
+// and patches the header with the totals and the content TraceId.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tracestore/format.hpp"
+#include "tracestore/trace_id.hpp"
+#include "tracestore/trace_source.hpp"
+
+namespace xoridx::tracestore {
+
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path` and writes a placeholder header. Throws
+  /// std::runtime_error on I/O failure, std::invalid_argument on a zero
+  /// chunk capacity.
+  explicit TraceWriter(const std::string& path,
+                       std::uint32_t chunk_capacity = default_chunk_capacity);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const trace::Access& a);
+  void append(std::uint64_t addr, trace::AccessKind kind) {
+    append(trace::Access{addr, kind});
+  }
+
+  /// Flush the pending chunk, write the chunk index, patch the header and
+  /// close the file. Returns the content id now stored in the header.
+  /// Idempotent; the destructor calls it (swallowing errors) if needed.
+  TraceId finish();
+
+  [[nodiscard]] std::uint64_t accesses_written() const noexcept {
+    return count_;
+  }
+
+ private:
+  void flush_chunk();
+
+  std::string path_;
+  std::ofstream os_;
+  std::uint32_t chunk_capacity_;
+  std::vector<trace::Access> pending_;
+  std::vector<std::uint64_t> chunk_offsets_;
+  std::vector<unsigned char> scratch_;
+  TraceIdHasher hasher_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+/// Write a whole in-memory trace as a v2 file. Returns its content id.
+TraceId save_trace_v2(const std::string& path, const trace::Trace& t,
+                      std::uint32_t chunk_capacity = default_chunk_capacity);
+
+/// Stream a source into a v2 file with O(chunk) resident memory.
+TraceId save_trace_v2(const std::string& path, TraceSource& source,
+                      std::uint32_t chunk_capacity = default_chunk_capacity);
+
+}  // namespace xoridx::tracestore
