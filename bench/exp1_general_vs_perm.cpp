@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "engine/campaign.hpp"
+#include "xoridx/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace xoridx;
@@ -41,47 +41,44 @@ int main(int argc, char** argv) {
   std::printf("%-10s | %6s %6s %7s | %6s %6s %7s\n", "benchmark", "1KB",
               "4KB", "16KB", "1KB", "4KB", "16KB");
 
-  engine::SweepSpec spec;
-  spec.geometries = bench::paper_geometries();
-  spec.hashed_bits = bench::paper_hashed_bits;
-  spec.configs = {
-      engine::FunctionConfig::baseline(),
-      engine::FunctionConfig::optimize("general",
-                                       search::FunctionClass::general_xor),
-      engine::FunctionConfig::optimize("perm",
-                                       search::FunctionClass::permutation),
+  api::ExplorationRequest request;
+  for (const cache::CacheGeometry& geom : bench::paper_geometries())
+    request.geometries.emplace_back(geom);
+  request.hashed_bits = bench::paper_hashed_bits;
+  request.num_threads = threads;
+  request.strategies = {
+      api::parse_strategy("base").value(),
+      api::parse_strategy("xor").value().relabel("general"),
+      api::parse_strategy("perm").value(),
   };
   std::vector<std::uint64_t> uops;
   for (const std::string& name :
        workloads::workload_names(workloads::Suite::table2)) {
     workloads::Workload w = workloads::make_workload(name, scale);
     uops.push_back(w.uops);
-    spec.add_trace(w.name, std::move(w.data));
+    request.traces.push_back(api::TraceRef::memory(w.name, std::move(w.data)));
   }
 
-  engine::Campaign campaign(std::move(spec));
-  engine::CampaignOptions options;
-  options.num_threads = threads;
-  bench::ProgressSink progress("exp1", campaign.jobs().size());
-  options.sink = &progress;
-  const std::vector<engine::JobResult> results = campaign.run(options);
+  bench::ProgressSink progress("exp1", request.job_count());
+  request.sink = &progress;
+  const api::Report report = api::Explorer::explore(request).value();
 
-  const std::size_t geoms = campaign.spec().geometries.size();
+  const std::size_t geoms = report.geometries.size();
   std::vector<double> base_sum(geoms, 0), gen_removed(geoms, 0),
       perm_removed(geoms, 0);
-  for (std::size_t t = 0; t < campaign.spec().traces.size(); ++t) {
+  for (std::size_t t = 0; t < report.trace_names.size(); ++t) {
     std::vector<double> gen(geoms), perm(geoms);
     for (std::size_t g = 0; g < geoms; ++g) {
-      const auto& base = results[campaign.job_index(t, g, 0)];
-      gen[g] = results[campaign.job_index(t, g, 1)].percent_removed();
-      perm[g] = results[campaign.job_index(t, g, 2)].percent_removed();
+      const auto& base = report.at(t, g, 0);
+      gen[g] = report.at(t, g, 1).percent_removed();
+      perm[g] = report.at(t, g, 2).percent_removed();
       const double density = bench::misses_per_kuop(base.misses, uops[t]);
       base_sum[g] += density;
       gen_removed[g] += density * gen[g] / 100.0;
       perm_removed[g] += density * perm[g] / 100.0;
     }
     std::printf("%-10s | %s %s %s | %s %s %s\n",
-                campaign.spec().traces[t].name.c_str(), cell(gen[0]).c_str(),
+                report.trace_names[t].c_str(), cell(gen[0]).c_str(),
                 cell(gen[1]).c_str(), cell(gen[2], 7).c_str(),
                 cell(perm[0]).c_str(), cell(perm[1]).c_str(),
                 cell(perm[2], 7).c_str());

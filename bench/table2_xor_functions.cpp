@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "engine/campaign.hpp"
+#include "xoridx/api.hpp"
 
 namespace {
 
@@ -36,19 +36,17 @@ struct Row {
   std::vector<double> in16;
 };
 
-// Assemble one printed row from the campaign results of one trace.
-Row make_row(const engine::Campaign& campaign,
-             const std::vector<engine::JobResult>& results,
-             std::size_t trace_index, const std::string& name,
-             std::uint64_t uops) {
+// Assemble one printed row from the report rows of one trace.
+Row make_row(const api::Report& report, std::size_t trace_index,
+             const std::string& name, std::uint64_t uops) {
   Row row;
   row.name = name;
-  const std::size_t geoms = campaign.spec().geometries.size();
+  const std::size_t geoms = report.geometries.size();
   for (std::size_t g = 0; g < geoms; ++g) {
-    const auto& base = results[campaign.job_index(trace_index, g, 0)];
-    const auto& opt2 = results[campaign.job_index(trace_index, g, 1)];
-    const auto& opt4 = results[campaign.job_index(trace_index, g, 2)];
-    const auto& opt16 = results[campaign.job_index(trace_index, g, 3)];
+    const auto& base = report.at(trace_index, g, 0);
+    const auto& opt2 = report.at(trace_index, g, 1);
+    const auto& opt4 = report.at(trace_index, g, 2);
+    const auto& opt16 = report.at(trace_index, g, 3);
     row.base.push_back(bench::misses_per_kuop(base.misses, uops));
     row.in2.push_back(opt2.percent_removed());
     row.in4.push_back(opt4.percent_removed());
@@ -117,19 +115,18 @@ int main(int argc, char** argv) {
       "(direct mapped, 4-byte blocks, n = 16; searches per benchmark and "
       "cache size).\n");
 
-  // One campaign: both trace sides of every workload, all geometries,
-  // baseline + three fan-in limits.
-  engine::SweepSpec spec;
-  spec.geometries = bench::paper_geometries();
-  spec.hashed_bits = bench::paper_hashed_bits;
-  spec.configs = {
-      engine::FunctionConfig::baseline(),
-      engine::FunctionConfig::optimize("perm-2in",
-                                       search::FunctionClass::permutation, 2),
-      engine::FunctionConfig::optimize("perm-4in",
-                                       search::FunctionClass::permutation, 4),
-      engine::FunctionConfig::optimize("perm-16in",
-                                       search::FunctionClass::permutation),
+  // One exploration: both trace sides of every workload, all
+  // geometries, baseline + three fan-in limits.
+  api::ExplorationRequest request;
+  for (const cache::CacheGeometry& geom : bench::paper_geometries())
+    request.geometries.emplace_back(geom);
+  request.hashed_bits = bench::paper_hashed_bits;
+  request.num_threads = threads;
+  request.strategies = {
+      api::parse_strategy("base").value(),
+      api::parse_strategy("perm:fanin=2").value().relabel("perm-2in"),
+      api::parse_strategy("perm:fanin=4").value().relabel("perm-4in"),
+      api::parse_strategy("perm").value().relabel("perm-16in"),
   };
 
   std::vector<std::string> names;
@@ -139,24 +136,21 @@ int main(int argc, char** argv) {
     workloads::Workload w = workloads::make_workload(name, scale);
     names.push_back(w.name);
     uops.push_back(w.uops);
-    spec.add_trace(w.name + ".data", std::move(w.data));
-    spec.add_trace(w.name + ".inst", std::move(w.fetches));
+    request.traces.push_back(
+        api::TraceRef::memory(w.name + ".data", std::move(w.data)));
+    request.traces.push_back(
+        api::TraceRef::memory(w.name + ".inst", std::move(w.fetches)));
   }
 
-  engine::Campaign campaign(std::move(spec));
-  engine::CampaignOptions options;
-  options.num_threads = threads;
-  bench::ProgressSink progress("table2", campaign.jobs().size());
-  options.sink = &progress;
-  const std::vector<engine::JobResult> results = campaign.run(options);
+  bench::ProgressSink progress("table2", request.job_count());
+  request.sink = &progress;
+  const api::Report report = api::Explorer::explore(request).value();
 
   std::vector<Row> data_rows;
   std::vector<Row> inst_rows;
   for (std::size_t i = 0; i < names.size(); ++i) {
-    data_rows.push_back(
-        make_row(campaign, results, 2 * i, names[i], uops[i]));
-    inst_rows.push_back(
-        make_row(campaign, results, 2 * i + 1, names[i], uops[i]));
+    data_rows.push_back(make_row(report, 2 * i, names[i], uops[i]));
+    inst_rows.push_back(make_row(report, 2 * i + 1, names[i], uops[i]));
   }
   print_block("=== data caches ===", data_rows);
   print_block("=== instruction caches ===", inst_rows);

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
-#include "engine/campaign.hpp"
+#include "xoridx/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace xoridx;
@@ -42,42 +42,37 @@ int main(int argc, char** argv) {
   std::printf("%-10s %6s %6s %6s %6s %6s %6s\n", "bench", "opt", "1-in",
               "2-in", "4-in", "16-in", "FA");
 
-  engine::SweepSpec spec;
-  spec.geometries = {cache::CacheGeometry(4096, 4)};
-  spec.hashed_bits = bench::paper_hashed_bits;
-  spec.configs = {
-      engine::FunctionConfig::optimal_bit_select("opt", fast),
-      engine::FunctionConfig::optimize("1-in",
-                                       search::FunctionClass::bit_select),
-      engine::FunctionConfig::optimize("2-in",
-                                       search::FunctionClass::permutation, 2),
-      engine::FunctionConfig::optimize("4-in",
-                                       search::FunctionClass::permutation, 4),
-      engine::FunctionConfig::optimize("16-in",
-                                       search::FunctionClass::permutation),
-      engine::FunctionConfig::fully_associative("FA"),
+  api::ExplorationRequest request;
+  request.geometries = {api::GeometrySpec(4096, 4)};
+  request.hashed_bits = bench::paper_hashed_bits;
+  request.num_threads = threads;
+  request.strategies = {
+      api::parse_strategy(fast ? "bitselect:est" : "bitselect:exact")
+          .value()
+          .relabel("opt"),
+      api::parse_strategy("bitselect").value().relabel("1-in"),
+      api::parse_strategy("perm:fanin=2").value().relabel("2-in"),
+      api::parse_strategy("perm:fanin=4").value().relabel("4-in"),
+      api::parse_strategy("perm").value().relabel("16-in"),
+      api::parse_strategy("fa").value().relabel("FA"),
   };
   for (const std::string& name :
        workloads::workload_names(workloads::Suite::powerstone)) {
     workloads::Workload w = workloads::make_workload(name);
-    spec.add_trace(w.name, std::move(w.data));
+    request.traces.push_back(api::TraceRef::memory(w.name, std::move(w.data)));
   }
 
-  engine::Campaign campaign(std::move(spec));
-  engine::CampaignOptions options;
-  options.num_threads = threads;
-  bench::ProgressSink progress("table3", campaign.jobs().size());
-  options.sink = &progress;
-  const std::vector<engine::JobResult> results = campaign.run(options);
+  bench::ProgressSink progress("table3", request.job_count());
+  request.sink = &progress;
+  const api::Report report = api::Explorer::explore(request).value();
 
-  const std::size_t columns = campaign.spec().configs.size();
+  const std::size_t columns = report.strategy_labels.size();
   std::vector<double> sums(columns, 0.0);
-  const std::size_t count = campaign.spec().traces.size();
+  const std::size_t count = report.trace_names.size();
   for (std::size_t t = 0; t < count; ++t) {
-    std::printf("%-10s", campaign.spec().traces[t].name.c_str());
+    std::printf("%-10s", report.trace_names[t].c_str());
     for (std::size_t c = 0; c < columns; ++c) {
-      const double removed =
-          results[campaign.job_index(t, 0, c)].percent_removed();
+      const double removed = report.at(t, 0, c).percent_removed();
       std::printf(" %s", cell(removed).c_str());
       sums[c] += removed;
     }

@@ -3,8 +3,9 @@
 // miss-reduction / switch-count trade-off, so a designer can pick the
 // cheapest implementation that meets a miss budget.
 //
-// The sweep runs on the evaluation engine: one job per candidate
-// implementation, all sharing the application's conflict profile.
+// The sweep is one ExplorationRequest on the public API: one strategy
+// per candidate implementation, all sharing the application's conflict
+// profile through the engine underneath.
 //
 //   $ ./hw_design_space [workload] [cache_bytes] [threads]
 #include <cstdio>
@@ -12,9 +13,9 @@
 #include <string>
 #include <vector>
 
-#include "engine/campaign.hpp"
 #include "hash/hardware_cost.hpp"
 #include "workloads/workload.hpp"
+#include "xoridx/api.hpp"
 
 int main(int argc, char** argv) try {
   using namespace xoridx;
@@ -26,66 +27,70 @@ int main(int argc, char** argv) try {
       argc > 3 && std::atoi(argv[3]) > 0
           ? static_cast<unsigned>(std::atoi(argv[3]))
           : 0u;
-  const cache::CacheGeometry geometry(cache_bytes, 4);
   constexpr int n = 16;
 
-  struct Config {
+  struct Candidate {
+    const char* title;
+    const char* spec;
     const char* label;
-    engine::FunctionConfig job;
     hash::ReconfigurableKind hw;
     bool reconfigurable;
   };
-  const std::vector<Config> configs = {
-      {"fixed conventional", engine::FunctionConfig::baseline("conv"),
+  const std::vector<Candidate> candidates = {
+      {"fixed conventional", "base", "conv",
        hash::ReconfigurableKind::bit_select_optimized, false},
-      {"bit-select",
-       engine::FunctionConfig::optimize(
-           "bitsel", search::FunctionClass::bit_select,
-           search::SearchOptions::unlimited, /*revert_if_worse=*/true),
+      {"bit-select", "bitselect:revert", "bitsel",
        hash::ReconfigurableKind::bit_select_optimized, true},
-      {"permutation 2-in",
-       engine::FunctionConfig::optimize("perm2",
-                                        search::FunctionClass::permutation, 2,
-                                        /*revert_if_worse=*/true),
+      {"permutation 2-in", "perm:fanin=2:revert", "perm2",
        hash::ReconfigurableKind::permutation_based_2in, true},
-      {"permutation 4-in",
-       engine::FunctionConfig::optimize("perm4",
-                                        search::FunctionClass::permutation, 4,
-                                        /*revert_if_worse=*/true),
+      {"permutation 4-in", "perm:fanin=4:revert", "perm4",
        hash::ReconfigurableKind::permutation_based_2in, true},
-      {"general XOR",
-       engine::FunctionConfig::optimize(
-           "general", search::FunctionClass::general_xor,
-           search::SearchOptions::unlimited, /*revert_if_worse=*/true),
+      {"general XOR", "xor:revert", "general",
        hash::ReconfigurableKind::general_xor_2in, true},
   };
 
-  engine::SweepSpec spec;
-  spec.geometries = {geometry};
-  spec.hashed_bits = n;
-  for (const Config& config : configs) spec.configs.push_back(config.job);
+  api::ExplorationRequest request;
+  request.hashed_bits = n;
+  request.num_threads = threads;
+  request.geometries = {api::GeometrySpec(cache_bytes, 4)};
+  for (const Candidate& candidate : candidates) {
+    api::Result<api::Strategy> strategy =
+        api::parse_strategy(candidate.spec);
+    if (!strategy.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   strategy.status().to_string().c_str());
+      return 1;
+    }
+    request.strategies.push_back(strategy->relabel(candidate.label));
+  }
   {
     workloads::Workload w = workloads::make_workload(name);
-    spec.add_trace(w.name, std::move(w.data));
+    request.traces.push_back(
+        api::TraceRef::memory(w.name, std::move(w.data)));
   }
 
-  engine::Campaign campaign(std::move(spec));
-  engine::CampaignOptions options;
-  options.num_threads = threads;
-  const std::vector<engine::JobResult> results = campaign.run(options);
+  const api::Result<api::Report> explored =
+      api::Explorer::explore(request);
+  if (!explored.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 explored.status().to_string().c_str());
+    return 1;
+  }
+  const api::Report& report = *explored;
+  const cache::CacheGeometry geometry = report.geometries.front();
 
   std::printf("workload %s on %s (m = %d, n = %d)\n\n", name.c_str(),
               geometry.to_string().c_str(), geometry.index_bits(), n);
   std::printf("%-20s %10s %10s %12s %14s\n", "configuration", "switches",
               "misses", "removed(%)", "xor gates");
 
-  for (std::size_t c = 0; c < configs.size(); ++c) {
-    const engine::JobResult& r = results[campaign.job_index(0, 0, c)];
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const api::Row& r = report.at(0, 0, c);
     const hash::HardwareCost cost =
-        hash::hardware_cost(configs[c].hw, n, geometry.index_bits());
-    const int switches = configs[c].reconfigurable ? cost.switches : 0;
-    std::printf("%-20s %10d %10llu %12.1f %14d\n", configs[c].label, switches,
-                static_cast<unsigned long long>(r.misses),
+        hash::hardware_cost(candidates[c].hw, n, geometry.index_bits());
+    const int switches = candidates[c].reconfigurable ? cost.switches : 0;
+    std::printf("%-20s %10d %10llu %12.1f %14d\n", candidates[c].title,
+                switches, static_cast<unsigned long long>(r.misses),
                 r.percent_removed(), switches == 0 ? 0 : cost.xor_gates);
   }
   std::printf(
@@ -93,6 +98,7 @@ int main(int argc, char** argv) try {
       "is permutation 2-in (Section 7).\n");
   return 0;
 } catch (const std::exception& e) {
+  // Pre-API throw sites (e.g. an unknown workload name) still exist.
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;
 }

@@ -3,23 +3,19 @@
 // A loop walking 64 blocks spaced exactly one cache apart maps every
 // reference to set 0 of a conventionally indexed direct-mapped cache —
 // the worst case. This example profiles the trace (paper Figure 1),
-// searches for a permutation-based XOR function (Sections 3-4) and shows
-// the misses before and after.
+// searches for a permutation-based XOR function (Sections 3-4) through
+// the public API and shows the misses before and after.
 //
 //   $ ./quickstart
 #include <cstdio>
 
-#include "cache/geometry.hpp"
-#include "cache/simulate.hpp"
-#include "hash/xor_function.hpp"
-#include "search/optimizer.hpp"
-#include "trace/trace.hpp"
+#include "xoridx/api.hpp"
 
 int main() {
   using namespace xoridx;
 
   // 1 KB direct-mapped cache with 4-byte blocks (m = 8 index bits).
-  const cache::CacheGeometry geometry(1024, 4);
+  const api::GeometrySpec geometry(1024, 4);
 
   // The pathological access pattern: stride == cache size.
   trace::Trace loop;
@@ -27,21 +23,24 @@ int main() {
     for (std::uint64_t i = 0; i < 64; ++i)
       loop.append(i * geometry.size_bytes, trace::AccessKind::read);
 
-  // Profile + search + exact re-simulation in one call.
-  search::OptimizeOptions options;
-  options.search.function_class = search::FunctionClass::permutation;
-  options.search.max_fan_in = 2;  // the paper's cheap "2-in" hardware
-  const search::OptimizationResult result =
-      search::optimize_index(loop, geometry, options);
+  // Profile + search + exact re-simulation in one call. "perm:fanin=2"
+  // is the paper's cheap "2-in" hardware.
+  const api::Result<api::TuneOutcome> result =
+      api::tune(api::TraceRef::memory("strided-loop", std::move(loop)),
+                geometry, api::parse_strategy("perm:fanin=2").value());
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
 
   std::printf("accesses            : %llu\n",
-              static_cast<unsigned long long>(result.accesses));
+              static_cast<unsigned long long>(result->accesses));
   std::printf("conventional misses : %llu (every access conflicts)\n",
-              static_cast<unsigned long long>(result.baseline_misses));
+              static_cast<unsigned long long>(result->baseline_misses));
   std::printf("optimized misses    : %llu (cold misses only)\n",
-              static_cast<unsigned long long>(result.optimized_misses));
-  std::printf("misses removed      : %.1f%%\n", result.reduction_percent());
+              static_cast<unsigned long long>(result->optimized_misses));
+  std::printf("misses removed      : %.1f%%\n", result->reduction_percent());
   std::printf("\nconstructed XOR index function:\n%s",
-              result.function->describe().c_str());
+              result->function->describe().c_str());
   return 0;
 }

@@ -15,10 +15,9 @@
 #include <vector>
 
 #include "cache/direct_mapped.hpp"
-#include "cache/simulate.hpp"
 #include "hash/xor_function.hpp"
-#include "search/optimizer.hpp"
 #include "workloads/workload.hpp"
+#include "xoridx/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace xoridx;
@@ -37,14 +36,19 @@ int main(int argc, char** argv) {
   std::printf("tuning per-application functions...\n");
   std::vector<workloads::Workload> programs;
   std::vector<std::unique_ptr<hash::IndexFunction>> tuned;
+  const api::Strategy strategy =
+      api::parse_strategy("perm:fanin=2:revert").value();
   for (const std::string& name : schedule) {
     programs.push_back(workloads::make_workload(name));
-    search::OptimizeOptions options;
-    options.search.max_fan_in = 2;
-    options.revert_if_worse = true;
-    tuned.push_back(
-        search::optimize_index(programs.back().data, geometry, options)
-            .function->clone());
+    api::Result<api::TuneOutcome> result =
+        api::tune(api::TraceRef::borrowed(name, programs.back().data),
+                  geometry, strategy);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    tuned.push_back(std::move(result->function));
   }
 
   const hash::XorFunction conventional =

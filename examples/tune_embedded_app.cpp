@@ -1,21 +1,20 @@
 // Tune an application-specific index function for one embedded workload,
 // the end-to-end flow a system integrator would run at design time:
-// trace -> profile -> search -> verify -> hardware configuration.
+// trace -> profile -> search -> verify -> hardware configuration —
+// driven entirely through the public API.
 //
 //   $ ./tune_embedded_app [workload] [cache_bytes] [class] [fan_in]
 //   $ ./tune_embedded_app fft 4096 permutation 2
 //
-// class: permutation | bitselect | general
+// class: permutation | bitselect | general (any search strategy spec)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "cache/simulate.hpp"
 #include "hash/hardware_cost.hpp"
-#include "hash/xor_function.hpp"
-#include "search/optimizer.hpp"
 #include "workloads/workload.hpp"
+#include "xoridx/api.hpp"
 
 int main(int argc, char** argv) {
   using namespace xoridx;
@@ -25,55 +24,87 @@ int main(int argc, char** argv) {
       argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4096u;
   const std::string klass = argc > 3 ? argv[3] : "permutation";
   const int fan_in = argc > 4 ? std::atoi(argv[4]) : 2;
+  constexpr int hashed_bits = 16;
+
+  // "permutation" and "general" are grammar aliases. Fan-in and the
+  // paper's safety fallback apply where the strategy supports them
+  // (bit-select ignores fan-in, as before the API).
+  api::Result<api::Strategy> strategy = api::parse_strategy(klass);
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 strategy.status().to_string().c_str());
+    return 1;
+  }
+  // The separate fan-in argument (or its documented default of 2)
+  // applies unless the spec itself already carries options — don't
+  // silently override "perm:fanin=8".
+  const bool apply_fan_in =
+      fan_in > 0 && (argc > 4 || klass.find(':') == std::string::npos);
+  if (apply_fan_in) strategy->with_fan_in(fan_in);
+  strategy->with_revert();
 
   std::printf("building workload '%s'...\n", name.c_str());
   const workloads::Workload w = workloads::make_workload(name);
-  const cache::CacheGeometry geometry(cache_bytes, 4);
+  const api::GeometrySpec geometry(cache_bytes, 4);
+  const api::Result<cache::CacheGeometry> validated = geometry.validate();
+  if (!validated.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 validated.status().to_string().c_str());
+    return 1;
+  }
+  const cache::CacheGeometry& geom = *validated;
   std::printf("  %zu data references, %llu uops, %u-byte cache (m = %d)\n\n",
               w.data.size(), static_cast<unsigned long long>(w.uops),
-              geometry.size_bytes, geometry.index_bits());
+              geometry.size_bytes, geom.index_bits());
 
-  search::OptimizeOptions options;
-  options.revert_if_worse = true;  // the paper's safety fallback
-  if (klass == "bitselect")
-    options.search.function_class = search::FunctionClass::bit_select;
-  else if (klass == "general")
-    options.search.function_class = search::FunctionClass::general_xor;
-  else
-    options.search.function_class = search::FunctionClass::permutation;
-  if (fan_in > 0) options.search.max_fan_in = fan_in;
+  const api::TraceRef ref = api::TraceRef::borrowed(w.name, w.data);
+  const api::Result<api::TuneOutcome> result =
+      api::tune(ref, geometry, *strategy, hashed_bits);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
 
-  const search::OptimizationResult result =
-      search::optimize_index(w.data, geometry, options);
-
-  const cache::MissBreakdown baseline = cache::classify_misses(
-      w.data, geometry,
-      hash::XorFunction::conventional(options.hashed_bits,
-                                      geometry.index_bits()));
+  const api::Result<cache::MissBreakdown> baseline =
+      api::simulate(ref, geometry, nullptr, hashed_bits);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 baseline.status().to_string().c_str());
+    return 1;
+  }
   std::printf("baseline (conventional modulo index):\n");
   std::printf("  misses %llu = %llu compulsory + %llu capacity + %llu conflict\n",
-              static_cast<unsigned long long>(baseline.misses),
-              static_cast<unsigned long long>(baseline.compulsory),
-              static_cast<unsigned long long>(baseline.capacity),
-              static_cast<unsigned long long>(baseline.conflict));
+              static_cast<unsigned long long>(baseline->misses),
+              static_cast<unsigned long long>(baseline->compulsory),
+              static_cast<unsigned long long>(baseline->capacity),
+              static_cast<unsigned long long>(baseline->conflict));
 
-  std::printf("\noptimized (%s, fan-in <= %d):\n", klass.c_str(), fan_in);
+  if (apply_fan_in)
+    std::printf("\noptimized (%s, fan-in <= %d):\n", klass.c_str(), fan_in);
+  else
+    std::printf("\noptimized (%s):\n", klass.c_str());
   std::printf("  misses %llu (%.1f%% removed)%s\n",
-              static_cast<unsigned long long>(result.optimized_misses),
-              result.reduction_percent(),
-              result.reverted ? "  [reverted to conventional]" : "");
+              static_cast<unsigned long long>(result->optimized_misses),
+              result->reduction_percent(),
+              result->reverted ? "  [reverted to conventional]" : "");
   std::printf("  search: %d moves, %llu candidate evaluations\n",
-              result.stats.iterations,
-              static_cast<unsigned long long>(result.stats.evaluations));
+              result->stats.iterations,
+              static_cast<unsigned long long>(result->stats.evaluations));
   std::printf("\nindex function to configure:\n%s",
-              result.function->describe().c_str());
+              result->function->describe().c_str());
 
-  const int switches = hash::switch_count(
-      klass == "bitselect"
+  // Hardware kind follows the *parsed* function class, so alias specs
+  // ("xor", "general", "permutation") all get the right cost model.
+  const std::optional<search::FunctionClass> fclass =
+      strategy->function_class();
+  const hash::ReconfigurableKind hw_kind =
+      fclass == search::FunctionClass::bit_select
           ? hash::ReconfigurableKind::bit_select_optimized
-          : klass == "general" ? hash::ReconfigurableKind::general_xor_2in
-                               : hash::ReconfigurableKind::permutation_based_2in,
-      options.hashed_bits, geometry.index_bits());
+      : fclass == search::FunctionClass::general_xor
+          ? hash::ReconfigurableKind::general_xor_2in
+          : hash::ReconfigurableKind::permutation_based_2in;
+  const int switches =
+      hash::switch_count(hw_kind, hashed_bits, geom.index_bits());
   std::printf("\nreconfigurable hardware: %d switches (= config cells)\n",
               switches);
   return 0;

@@ -1,5 +1,7 @@
 // xoridx_cli: command-line front end to the library, covering the whole
-// design-time flow on trace files.
+// design-time flow on trace files. All top-level operations go through
+// the stable public API (xoridx/api.hpp): TraceRef for inputs, strategy
+// specs for function classes, Status for errors.
 //
 //   xoridx_cli gen <workload> <data|fetch> <trace.bin>
 //       Build a registry workload and save its trace.
@@ -8,41 +10,37 @@
 //   xoridx_cli profile <trace.bin> <cache_bytes>
 //       Run the Figure-1 profiler and print the top conflict vectors.
 //   xoridx_cli optimize <trace.bin> <cache_bytes> <class> [fan_in] [out.fn]
-//       Construct a function (class: permutation|bitselect|general) and
-//       optionally save it in the text format.
+//       Construct a function (class: permutation|bitselect|general, or
+//       any search strategy spec) and optionally save it.
 //   xoridx_cli simulate <trace.bin> <cache_bytes> [function.fn]
 //       Simulate the trace with the conventional index or a saved one.
 //   xoridx_cli engine <workloads> [options]
-//       Run a trace x geometry x function-class sweep on the parallel
+//       Run a trace x geometry x strategy sweep on the parallel
 //       evaluation engine and stream results as CSV or JSON. With --mmap,
-//       --trace files are streamed chunk-by-chunk through the trace store
-//       instead of being materialized in memory.
+//       --trace files are streamed chunk-by-chunk through the trace
+//       store instead of being materialized in memory.
 //   xoridx_cli trace convert <in> <out> [--to v1|v2] [--chunk N]
-//       Convert between the v1 fixed-record and v2 chunk-compressed trace
-//       formats, streaming (O(chunk) memory).
+//       Convert between the v1 fixed-record and v2 chunk-compressed
+//       trace formats, streaming (O(chunk) memory).
 //   xoridx_cli trace info <file>
 //       Print trace-file metadata: format, accesses, chunks, content id.
+//   xoridx_cli --version
+//       Print the library version and supported trace-format versions.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "cache/simulate.hpp"
-#include "engine/campaign.hpp"
-#include "engine/thread_pool.hpp"
 #include "hash/serialize.hpp"
-#include "hash/xor_function.hpp"
-#include "profile/conflict_profile.hpp"
-#include "search/optimizer.hpp"
 #include "trace/trace_io.hpp"
-#include "tracestore/store.hpp"
 #include "workloads/workload.hpp"
+#include "xoridx/api.hpp"
 
 namespace {
 
@@ -65,12 +63,29 @@ int usage() {
                "      [--classes spec,spec,...] [--threads N] "
                "[--format csv|json]\n"
                "      [--trace file.bin]... [--mmap] [--small] [--out file]\n"
-               "    class specs: base fa classify opt opt-est bitselect "
-               "general perm perm:<fan_in>\n"
+               "    strategy specs: %s\n"
+               "      (legacy aliases: classify general opt opt-est "
+               "perm:<fan_in>)\n"
                "  xoridx_cli trace convert <in> <out> [--to v1|v2] "
                "[--chunk N]\n"
-               "  xoridx_cli trace info <file>\n");
+               "  xoridx_cli trace info <file>\n"
+               "  xoridx_cli --version\n",
+               api::strategy_grammar_summary().c_str());
   return 2;
+}
+
+/// Print an API error to stderr. Returns 1 for use as an exit code.
+int fail(const api::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+int cmd_version() {
+  const api::Version v = api::version();
+  std::printf("xoridx %s (api %d.%d.%d, trace formats v%d-v%d)\n",
+              api::version_string(), v.major, v.minor, v.patch,
+              api::min_trace_format_version, api::max_trace_format_version);
+  return 0;
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -85,8 +100,10 @@ int cmd_gen(int argc, char** argv) {
 
 int cmd_stats(int argc, char** argv) {
   if (argc < 3) return usage();
-  const trace::Trace t = tracestore::load_trace_any(argv[2]);
-  const trace::TraceStats s = t.stats(2);
+  const api::Result<trace::Trace> loaded =
+      api::TraceRef::file(argv[2]).load();
+  if (!loaded.ok()) return fail(loaded.status());
+  const trace::TraceStats s = loaded->stats(2);
   std::printf("references      %llu\n",
               static_cast<unsigned long long>(s.references));
   std::printf("reads/writes    %llu / %llu\n",
@@ -104,11 +121,12 @@ int cmd_stats(int argc, char** argv) {
 
 int cmd_profile(int argc, char** argv) {
   if (argc < 4) return usage();
-  const trace::Trace t = tracestore::load_trace_any(argv[2]);
-  const cache::CacheGeometry geom(
+  const api::GeometrySpec geom(
       static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
-  const profile::ConflictProfile p =
-      profile::build_conflict_profile(t, geom, hashed_bits);
+  const api::Result<profile::ConflictProfile> built = api::build_profile(
+      api::TraceRef::file(argv[2]), geom, hashed_bits);
+  if (!built.ok()) return fail(built.status());
+  const profile::ConflictProfile& p = *built;
   std::printf("references %llu: %llu compulsory, %llu capacity-filtered, "
               "%llu profiled\n",
               static_cast<unsigned long long>(p.references),
@@ -135,30 +153,30 @@ int cmd_profile(int argc, char** argv) {
 
 int cmd_optimize(int argc, char** argv) {
   if (argc < 5) return usage();
-  const trace::Trace t = tracestore::load_trace_any(argv[2]);
-  const cache::CacheGeometry geom(
+  const api::GeometrySpec geom(
       static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
-  search::OptimizeOptions options;
-  options.revert_if_worse = true;
-  const std::string klass = argv[4];
-  options.search.function_class =
-      klass == "bitselect" ? search::FunctionClass::bit_select
-      : klass == "general" ? search::FunctionClass::general_xor
-                           : search::FunctionClass::permutation;
+  // The class argument is a strategy spec ("permutation" and "general"
+  // are grammar aliases). The fan-in argument and the paper's safety
+  // fallback apply where the strategy supports them, matching the
+  // pre-API CLI (fan-in was always accepted, ignored by bit-select).
+  api::Result<api::Strategy> strategy = api::parse_strategy(argv[4]);
+  if (!strategy.ok()) return fail(strategy.status());
   if (argc > 5 && std::atoi(argv[5]) > 0)
-    options.search.max_fan_in = std::atoi(argv[5]);
+    strategy->with_fan_in(std::atoi(argv[5]));
+  strategy->with_revert();
 
-  const search::OptimizationResult r =
-      search::optimize_index(t, geom, options);
+  const api::Result<api::TuneOutcome> tuned = api::tune(
+      api::TraceRef::file(argv[2]), geom, *strategy, hashed_bits);
+  if (!tuned.ok()) return fail(tuned.status());
   std::printf("baseline  %llu misses\noptimized %llu misses (%.1f%% removed)%s\n",
-              static_cast<unsigned long long>(r.baseline_misses),
-              static_cast<unsigned long long>(r.optimized_misses),
-              r.reduction_percent(),
-              r.reverted ? " [reverted]" : "");
-  std::printf("%s", r.function->describe().c_str());
+              static_cast<unsigned long long>(tuned->baseline_misses),
+              static_cast<unsigned long long>(tuned->optimized_misses),
+              tuned->reduction_percent(),
+              tuned->reverted ? " [reverted]" : "");
+  std::printf("%s", tuned->function->describe().c_str());
   if (argc > 6) {
     std::ofstream os(argv[6]);
-    hash::write_function(os, *r.function);
+    hash::write_function(os, *tuned->function);
     std::printf("saved to %s\n", argv[6]);
   }
   return 0;
@@ -166,8 +184,7 @@ int cmd_optimize(int argc, char** argv) {
 
 int cmd_simulate(int argc, char** argv) {
   if (argc < 4) return usage();
-  const trace::Trace t = tracestore::load_trace_any(argv[2]);
-  const cache::CacheGeometry geom(
+  const api::GeometrySpec geom(
       static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
   std::unique_ptr<hash::IndexFunction> f;
   if (argc > 4) {
@@ -177,11 +194,11 @@ int cmd_simulate(int argc, char** argv) {
       return 1;
     }
     f = hash::read_function(is);
-  } else {
-    f = hash::XorFunction::conventional(hashed_bits, geom.index_bits())
-            .clone();
   }
-  const cache::MissBreakdown b = cache::classify_misses(t, geom, *f);
+  const api::Result<cache::MissBreakdown> run = api::simulate(
+      api::TraceRef::file(argv[2]), geom, f.get(), hashed_bits);
+  if (!run.ok()) return fail(run.status());
+  const cache::MissBreakdown& b = *run;
   std::printf("accesses  %llu\nmisses    %llu (%.2f%%)\n",
               static_cast<unsigned long long>(b.accesses),
               static_cast<unsigned long long>(b.misses),
@@ -203,47 +220,16 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
-/// Parse one --classes token into a sweep column.
-bool parse_class(const std::string& token, engine::FunctionConfig* out) {
-  using engine::FunctionConfig;
-  if (token == "base") {
-    *out = FunctionConfig::baseline();
-  } else if (token == "fa") {
-    *out = FunctionConfig::fully_associative();
-  } else if (token == "classify") {
-    *out = FunctionConfig::classify();
-  } else if (token == "opt") {
-    *out = FunctionConfig::optimal_bit_select("opt", false);
-  } else if (token == "opt-est") {
-    *out = FunctionConfig::optimal_bit_select("opt-est", true);
-  } else if (token == "bitselect") {
-    *out = FunctionConfig::optimize(token, search::FunctionClass::bit_select);
-  } else if (token == "general") {
-    *out = FunctionConfig::optimize(token, search::FunctionClass::general_xor);
-  } else if (token == "perm") {
-    *out = FunctionConfig::optimize(token, search::FunctionClass::permutation);
-  } else if (token.rfind("perm:", 0) == 0) {
-    const int fan_in = std::atoi(token.c_str() + 5);
-    if (fan_in < 1) return false;
-    *out = FunctionConfig::optimize(token, search::FunctionClass::permutation,
-                                    fan_in);
-  } else {
-    return false;
-  }
-  return true;
-}
-
 int cmd_engine(int argc, char** argv) {
   if (argc < 3) return usage();
 
-  engine::SweepSpec spec;
-  spec.hashed_bits = hashed_bits;
-  engine::CampaignOptions options;
+  api::ExplorationRequest request;
+  request.hashed_bits = hashed_bits;
   std::string format = "csv";
   std::string out_path;
   workloads::Scale scale = workloads::Scale::full;
   std::vector<std::string> cache_list = {"1024", "4096", "16384"};
-  std::vector<std::string> class_list = {"base", "perm:2", "perm"};
+  std::string class_specs = "base,perm:2,perm";
   std::vector<std::string> trace_files;
   bool mmap_traces = false;
 
@@ -263,14 +249,14 @@ int cmd_engine(int argc, char** argv) {
     } else if (arg == "--classes") {
       const char* v = value();
       if (!v) return usage();
-      class_list = split(v, ',');
+      class_specs = v;
     } else if (arg == "--threads") {
       const char* v = value();
       if (!v) return usage();
       // Negative or unparsable values fall back to 0 = all hardware
       // threads rather than wrapping to a huge unsigned count.
       const int n = std::atoi(v);
-      options.num_threads = n > 0 ? static_cast<unsigned>(n) : 0u;
+      request.num_threads = n > 0 ? static_cast<unsigned>(n) : 0u;
     } else if (arg == "--format") {
       const char* v = value();
       if (!v || (std::strcmp(v, "csv") != 0 && std::strcmp(v, "json") != 0))
@@ -301,28 +287,31 @@ int cmd_engine(int argc, char** argv) {
   }
   for (const std::string& name : names) {
     workloads::Workload w = workloads::make_workload(name, scale);
-    spec.add_trace(w.name, std::move(w.data));
+    request.traces.push_back(
+        api::TraceRef::memory(w.name, std::move(w.data)));
   }
   // Trace files are opened through the trace store: --mmap streams them
   // chunk by chunk (O(chunk) resident), otherwise they load eagerly.
   for (const std::string& file : trace_files)
-    spec.add_trace_file(file, file, mmap_traces);
-  if (spec.traces.empty()) {
+    request.traces.push_back(mmap_traces ? api::TraceRef::streaming(file)
+                                         : api::TraceRef::file(file));
+  if (request.traces.empty()) {
     std::fprintf(stderr, "no traces selected\n");
     return usage();
   }
 
   for (const std::string& bytes : cache_list)
-    spec.geometries.emplace_back(
+    request.geometries.emplace_back(
         static_cast<std::uint32_t>(std::atoi(bytes.c_str())), 4);
-  for (const std::string& token : class_list) {
-    engine::FunctionConfig config;
-    if (!parse_class(token, &config)) {
-      std::fprintf(stderr, "unknown class spec '%s'\n", token.c_str());
-      return usage();
-    }
-    spec.configs.push_back(std::move(config));
+  api::Result<std::vector<api::Strategy>> strategies =
+      api::parse_strategies(class_specs);
+  if (!strategies.ok()) {
+    // The parse error names the offending token.
+    std::fprintf(stderr, "error: %s\n",
+                 strategies.status().to_string().c_str());
+    return 2;
   }
+  request.strategies = std::move(*strategies);
 
   std::ofstream file_out;
   if (!out_path.empty()) {
@@ -333,27 +322,25 @@ int cmd_engine(int argc, char** argv) {
     }
   }
   std::ostream& os = out_path.empty() ? std::cout : file_out;
-  std::unique_ptr<engine::ResultSink> sink;
+  std::unique_ptr<api::ResultSink> sink;
   if (format == "json")
-    sink = std::make_unique<engine::JsonSink>(os);
+    sink = std::make_unique<api::JsonSink>(os);
   else
-    sink = std::make_unique<engine::CsvSink>(os);
-  options.sink = sink.get();
+    sink = std::make_unique<api::CsvSink>(os);
+  request.sink = sink.get();
 
-  engine::Campaign campaign(std::move(spec));
   std::fprintf(stderr,
                "[engine] %zu jobs (%zu traces x %zu geometries x %zu "
                "classes), %u threads\n",
-               campaign.jobs().size(), campaign.spec().traces.size(),
-               campaign.spec().geometries.size(),
-               campaign.spec().configs.size(),
-               options.num_threads == 0
-                   ? engine::ThreadPool::default_threads()
-                   : options.num_threads);
-  campaign.run(options);
+               request.job_count(), request.traces.size(),
+               request.geometries.size(), request.strategies.size(),
+               request.num_threads == 0 ? api::default_threads()
+                                        : request.num_threads);
+  const api::Result<api::Report> report = api::Explorer::explore(request);
+  if (!report.ok()) return fail(report.status());
   std::fprintf(stderr, "[engine] profile cache: %llu built, %llu shared\n",
-               static_cast<unsigned long long>(campaign.profiles().misses()),
-               static_cast<unsigned long long>(campaign.profiles().hits()));
+               static_cast<unsigned long long>(report->profiles_built),
+               static_cast<unsigned long long>(report->profiles_shared));
   return 0;
 }
 
@@ -381,25 +368,23 @@ int cmd_trace_convert(int argc, char** argv) {
       return usage();
     }
   }
-  const tracestore::TraceId id = tracestore::convert_trace(in, out, to, chunk);
-  // Header-only metadata (a trace_file_info on a v1 output would re-scan
-  // the whole file just to recompute the id we already have).
-  const std::uint64_t accesses =
-      to == tracestore::TraceFormat::v2
-          ? tracestore::MmapTraceReader(out).info().accesses
-          : tracestore::V1FileSource(out).size();
+  const api::Result<api::ConversionSummary> converted =
+      api::convert_trace(in, out, to, chunk);
+  if (!converted.ok()) return fail(converted.status());
   std::printf("wrote %s (%s, %llu accesses, %llu bytes, id %s)\n",
               out.c_str(), to == tracestore::TraceFormat::v2 ? "v2" : "v1",
-              static_cast<unsigned long long>(accesses),
-              static_cast<unsigned long long>(
-                  std::filesystem::file_size(out)),
-              id.to_string().c_str());
+              static_cast<unsigned long long>(converted->accesses),
+              static_cast<unsigned long long>(converted->file_bytes),
+              converted->id.to_string().c_str());
   return 0;
 }
 
 int cmd_trace_info(int argc, char** argv) {
   if (argc < 4) return usage();
-  const tracestore::TraceFileInfo info = tracestore::trace_file_info(argv[3]);
+  const api::Result<tracestore::TraceFileInfo> queried =
+      api::trace_info(argv[3]);
+  if (!queried.ok()) return fail(queried.status());
+  const tracestore::TraceFileInfo& info = *queried;
   std::printf("format          v%d%s\n", info.version,
               info.version == 2 ? " (chunk-compressed)" : " (fixed records)");
   std::printf("accesses        %llu\n",
@@ -433,6 +418,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "--version" || command == "version") return cmd_version();
     if (command == "gen") return cmd_gen(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "profile") return cmd_profile(argc, argv);

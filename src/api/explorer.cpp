@@ -1,0 +1,279 @@
+#include "api/explorer.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <utility>
+#include <variant>
+
+#include "api/internal.hpp"
+#include "engine/thread_pool.hpp"
+#include "hash/xor_function.hpp"
+#include "search/optimizer.hpp"
+
+namespace xoridx::api {
+
+namespace {
+
+using internal::status_from_current_exception;
+
+/// The lowered engine column of a strategy: the prebuilt config when
+/// parse_strategy already ran, else parse now (deferred strategies).
+Result<engine::FunctionConfig> lower_strategy(const Strategy& strategy) {
+  if (strategy.config) return *strategy.config;
+  Result<Strategy> parsed = parse_strategy(strategy.spec);
+  if (!parsed.ok()) return parsed.status();
+  engine::FunctionConfig config = std::move(*parsed->config);
+  if (!strategy.label.empty() && strategy.label != strategy.spec)
+    config.label = strategy.label;
+  return config;
+}
+
+}  // namespace
+
+Result<cache::CacheGeometry> GeometrySpec::validate() const {
+  try {
+    return cache::CacheGeometry(size_bytes, block_bytes, associativity);
+  } catch (const std::exception& e) {
+    return Status(StatusCode::invalid_argument,
+                  std::string(e.what()) + " (geometry " + to_string() + ")")
+        .with_geometry(to_string());
+  }
+}
+
+std::string GeometrySpec::to_string() const {
+  return std::to_string(size_bytes) + "B/" + std::to_string(block_bytes) +
+         "B/" + std::to_string(associativity) + "-way";
+}
+
+unsigned default_threads() { return engine::ThreadPool::default_threads(); }
+
+Result<Report> Explorer::explore(const ExplorationRequest& request) {
+  if (request.traces.empty())
+    return Status(StatusCode::invalid_argument,
+                  "exploration request names no traces");
+  if (request.geometries.empty())
+    return Status(StatusCode::invalid_argument,
+                  "exploration request names no geometries");
+  if (request.strategies.empty())
+    return Status(StatusCode::invalid_argument,
+                  "exploration request names no strategies");
+  // Same bound as ConflictProfile's dense table — rejecting here stops
+  // a 2^n counter allocation from being attempted inside a job first.
+  if (request.hashed_bits < 1 || request.hashed_bits > 24)
+    return Status(StatusCode::invalid_argument,
+                  "hashed_bits must be in [1, 24], got " +
+                      std::to_string(request.hashed_bits) +
+                      " (the conflict profile holds 2^n counters)");
+
+  engine::SweepSpec spec;
+  spec.hashed_bits = request.hashed_bits;
+
+  for (const GeometrySpec& g : request.geometries) {
+    Result<cache::CacheGeometry> geom = g.validate();
+    if (!geom.ok()) return geom.status();
+    if (geom->index_bits() > request.hashed_bits)
+      return Status(StatusCode::invalid_argument,
+                    "geometry " + geom->to_string() + " needs " +
+                        std::to_string(geom->index_bits()) +
+                        " index bits but the request hashes only " +
+                        std::to_string(request.hashed_bits) +
+                        " address bits (m <= n required)")
+          .with_geometry(geom->to_string());
+    spec.geometries.push_back(*geom);
+  }
+
+  for (const Strategy& strategy : request.strategies) {
+    Result<engine::FunctionConfig> config = lower_strategy(strategy);
+    if (!config.ok()) return config.status();
+    spec.configs.push_back(std::move(*config));
+  }
+
+  for (const TraceRef& ref : request.traces) {
+    engine::TraceEntry entry = ref.lower();
+    if (!entry.trace && !entry.streaming) {
+      // Eager file ref: load() both validates and attributes, so a
+      // separate header pre-check would only re-open the file.
+      Result<trace::Trace> loaded = ref.load();
+      if (!loaded.ok()) return loaded.status();
+      entry.path.clear();
+      entry.trace =
+          std::make_shared<const trace::Trace>(std::move(*loaded));
+    } else if (entry.source_factory) {
+      if (Status status = ref.validate(); !status.ok()) return status;
+      // Resolve the content id / access count here (one factory open,
+      // shared with the campaign via metadata_resolved) so a failing
+      // source names its trace.
+      try {
+        engine::resolve_source_metadata(entry);
+      } catch (...) {
+        return status_from_current_exception(StatusCode::io_error)
+            .with_trace(entry.name);
+      }
+    } else if (entry.streaming) {
+      // Streaming file ref: read the header metadata once, with
+      // attribution; the campaign reuses the filled fields instead of
+      // re-parsing the header.
+      std::error_code ec;
+      if (!std::filesystem::exists(entry.path, ec))
+        return Status(StatusCode::not_found,
+                      "trace file not found: " + entry.path)
+            .with_trace(entry.name);
+      try {
+        engine::resolve_file_metadata(entry);
+      } catch (...) {
+        return status_from_current_exception(StatusCode::io_error)
+            .with_trace(entry.name);
+      }
+    } else {
+      // In-memory ref: attachment check only.
+      if (Status status = ref.validate(); !status.ok()) return status;
+    }
+    spec.traces.push_back(std::move(entry));
+  }
+
+  try {
+    engine::Campaign campaign(std::move(spec));
+    engine::CampaignOptions options;
+    options.num_threads = request.num_threads;
+    options.sink = request.sink;
+
+    Report report;
+    report.rows = campaign.run(options);
+    for (const engine::TraceEntry& entry : campaign.spec().traces)
+      report.trace_names.push_back(entry.name);
+    report.geometries = campaign.spec().geometries;
+    for (const engine::FunctionConfig& config : campaign.spec().configs)
+      report.strategy_labels.push_back(config.label);
+    report.profiles_built = campaign.profiles().misses();
+    report.profiles_shared = campaign.profiles().hits();
+    return report;
+  } catch (const engine::CampaignError& e) {
+    // Preserve the wrapped exception's class: environment failures
+    // (unreadable chunks, vanished files) are io_error, not internal.
+    const StatusCode code =
+        e.cause() == engine::CampaignError::Cause::invalid_argument
+            ? StatusCode::invalid_argument
+        : e.cause() == engine::CampaignError::Cause::runtime
+            ? StatusCode::io_error
+            : StatusCode::internal;
+    return Status(code, std::string("sweep job failed: ") + e.what())
+        .with_cell(e.trace_name(), e.geometry().to_string(), e.label());
+  } catch (...) {
+    return status_from_current_exception(StatusCode::io_error);
+  }
+}
+
+Result<xoridx::profile::ConflictProfile> build_profile(
+    const TraceRef& trace, const GeometrySpec& geometry, int hashed_bits) {
+  Result<cache::CacheGeometry> geom = geometry.validate();
+  if (!geom.ok()) return geom.status();
+  Result<std::unique_ptr<tracestore::TraceSource>> source = trace.open();
+  if (!source.ok()) return source.status();
+  try {
+    return profile::build_conflict_profile(**source, *geom, hashed_bits);
+  } catch (...) {
+    return status_from_current_exception(StatusCode::io_error)
+        .with_trace(trace.name())
+        .with_geometry(geom->to_string());
+  }
+}
+
+Result<TuneOutcome> tune(const TraceRef& trace, const GeometrySpec& geometry,
+                         const Strategy& strategy, int hashed_bits) {
+  Result<cache::CacheGeometry> geom = geometry.validate();
+  if (!geom.ok()) return geom.status();
+  Result<engine::FunctionConfig> config = lower_strategy(strategy);
+  if (!config.ok()) return config.status();
+  const auto* search_job =
+      std::get_if<engine::OptimizeIndexJob>(&config->payload);
+  if (!search_job)
+    return Status(StatusCode::invalid_argument,
+                  "strategy '" + strategy.spec +
+                      "' is not a search strategy (expected perm, xor or "
+                      "bitselect)")
+        .with_strategy(strategy.spec);
+  if (geom->index_bits() > hashed_bits)
+    return Status(StatusCode::invalid_argument,
+                  "geometry " + geom->to_string() + " needs " +
+                      std::to_string(geom->index_bits()) +
+                      " index bits but only " + std::to_string(hashed_bits) +
+                      " address bits are hashed (m <= n required)")
+        .with_geometry(geom->to_string());
+
+  Result<std::unique_ptr<tracestore::TraceSource>> source = trace.open();
+  if (!source.ok()) return source.status();
+
+  search::OptimizeOptions options;
+  options.hashed_bits = hashed_bits;
+  options.search.function_class = search_job->function_class;
+  options.search.max_fan_in = search_job->max_fan_in;
+  options.revert_if_worse = search_job->revert_if_worse;
+  try {
+    const profile::ConflictProfile prof =
+        profile::build_conflict_profile(**source, *geom, hashed_bits);
+    return search::optimize_index_with_profile(**source, *geom, prof,
+                                               options);
+  } catch (...) {
+    return status_from_current_exception(StatusCode::io_error)
+        .with_cell(trace.name(), geom->to_string(), config->label);
+  }
+}
+
+Result<cache::MissBreakdown> simulate(const TraceRef& trace,
+                                      const GeometrySpec& geometry,
+                                      const hash::IndexFunction* function,
+                                      int hashed_bits) {
+  Result<cache::CacheGeometry> geom = geometry.validate();
+  if (!geom.ok()) return geom.status();
+  Result<std::unique_ptr<tracestore::TraceSource>> source = trace.open();
+  if (!source.ok()) return source.status();
+  try {
+    if (function) return cache::classify_misses(**source, *geom, *function);
+    const hash::XorFunction conventional =
+        hash::XorFunction::conventional(hashed_bits, geom->index_bits());
+    return cache::classify_misses(**source, *geom, conventional);
+  } catch (...) {
+    return status_from_current_exception(StatusCode::io_error)
+        .with_trace(trace.name())
+        .with_geometry(geom->to_string());
+  }
+}
+
+Result<tracestore::TraceFileInfo> trace_info(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec))
+    return Status(StatusCode::not_found, "trace file not found: " + path);
+  try {
+    return tracestore::trace_file_info(path);
+  } catch (...) {
+    return status_from_current_exception(StatusCode::io_error);
+  }
+}
+
+Result<ConversionSummary> convert_trace(const std::string& in_path,
+                                        const std::string& out_path,
+                                        tracestore::TraceFormat to,
+                                        std::uint32_t chunk_capacity) {
+  std::error_code ec;
+  if (!std::filesystem::exists(in_path, ec))
+    return Status(StatusCode::not_found,
+                  "trace file not found: " + in_path);
+  try {
+    ConversionSummary summary;
+    summary.format = to;
+    summary.id =
+        tracestore::convert_trace(in_path, out_path, to, chunk_capacity);
+    // Header-only metadata (a trace_file_info on a v1 output would
+    // re-scan the whole file just to recompute the id we already have).
+    summary.accesses =
+        to == tracestore::TraceFormat::v2
+            ? tracestore::MmapTraceReader(out_path).info().accesses
+            : tracestore::V1FileSource(out_path).size();
+    summary.file_bytes = std::filesystem::file_size(out_path);
+    return summary;
+  } catch (...) {
+    return status_from_current_exception(StatusCode::io_error);
+  }
+}
+
+}  // namespace xoridx::api

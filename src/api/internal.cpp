@@ -1,0 +1,20 @@
+#include "api/internal.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+namespace xoridx::api::internal {
+
+Status status_from_current_exception(StatusCode runtime_code) {
+  try {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    return {StatusCode::invalid_argument, e.what()};
+  } catch (const std::exception& e) {
+    return {runtime_code, e.what()};
+  } catch (...) {
+    return {StatusCode::internal, "unknown error"};
+  }
+}
+
+}  // namespace xoridx::api::internal

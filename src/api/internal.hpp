@@ -1,0 +1,14 @@
+// Internal helpers shared by the api/ implementation files. Not part of
+// the public surface — do not include from outside src/api/.
+#pragma once
+
+#include "api/status.hpp"
+
+namespace xoridx::api::internal {
+
+/// Map the in-flight exception onto a Status: std::invalid_argument ->
+/// invalid_argument, any other std::exception -> `runtime_code`,
+/// non-standard exceptions -> internal.
+[[nodiscard]] Status status_from_current_exception(StatusCode runtime_code);
+
+}  // namespace xoridx::api::internal

@@ -1,0 +1,52 @@
+#include "api/status.hpp"
+
+namespace xoridx::api {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::ok:
+      return "ok";
+    case StatusCode::invalid_argument:
+      return "invalid-argument";
+    case StatusCode::parse_error:
+      return "parse-error";
+    case StatusCode::not_found:
+      return "not-found";
+    case StatusCode::io_error:
+      return "io-error";
+    case StatusCode::internal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = status_code_name(code_);
+  out += ": ";
+  out += message_;
+  if (has_cell()) {
+    if (!trace_.empty() && !geometry_.empty() && !strategy_.empty()) {
+      out += " [cell " + trace_ + " x " + geometry_ + " x " + strategy_ + "]";
+    } else {
+      // Partial context: name only what is known.
+      out += " [";
+      bool first = true;
+      const auto append = [&](const char* key, const std::string& value) {
+        if (value.empty()) return;
+        if (!first) out += " ";
+        out += key;
+        out += "=";
+        out += value;
+        first = false;
+      };
+      append("trace", trace_);
+      append("geometry", geometry_);
+      append("strategy", strategy_);
+      out += "]";
+    }
+  }
+  return out;
+}
+
+}  // namespace xoridx::api

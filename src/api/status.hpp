@@ -1,0 +1,144 @@
+// Status/Result<T>: the error model of the public API.
+//
+// Internal layers (search/, cache/, engine/, tracestore/) throw; the API
+// boundary converts every failure into a Status so callers — including
+// future remote/sharded frontends that cannot catch a peer's exception —
+// get one uniform, inspectable error value. A Status carries an error
+// code, a human-readable message, and, for failures inside a sweep, the
+// exact (trace, geometry, strategy) cell that failed.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xoridx::api {
+
+enum class StatusCode {
+  ok,
+  invalid_argument,  ///< a request field fails validation
+  parse_error,       ///< a spec string does not match the grammar
+  not_found,         ///< a named file/trace/strategy does not exist
+  io_error,          ///< a file exists but cannot be read or is corrupt
+  internal,          ///< an unexpected failure inside the library
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok_status() { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::ok; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+  /// Attach the sweep cell that failed. Chainable.
+  Status& with_cell(std::string trace, std::string geometry,
+                    std::string strategy) {
+    trace_ = std::move(trace);
+    geometry_ = std::move(geometry);
+    strategy_ = std::move(strategy);
+    return *this;
+  }
+  Status& with_trace(std::string trace) {
+    trace_ = std::move(trace);
+    return *this;
+  }
+  Status& with_geometry(std::string geometry) {
+    geometry_ = std::move(geometry);
+    return *this;
+  }
+  Status& with_strategy(std::string strategy) {
+    strategy_ = std::move(strategy);
+    return *this;
+  }
+
+  /// Failing-cell context; empty when unknown / not applicable.
+  [[nodiscard]] const std::string& trace() const noexcept { return trace_; }
+  [[nodiscard]] const std::string& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const std::string& strategy() const noexcept {
+    return strategy_;
+  }
+  [[nodiscard]] bool has_cell() const noexcept {
+    return !trace_.empty() || !geometry_.empty() || !strategy_.empty();
+  }
+
+  /// "code: message [cell trace x geometry x strategy]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::ok;
+  std::string message_;
+  std::string trace_;
+  std::string geometry_;
+  std::string strategy_;
+};
+
+/// Thrown only by Result<T>::value() on an error Result — the single
+/// place the API surfaces an exception, for callers that prefer
+/// fail-fast over checking.
+class BadResultAccess : public std::runtime_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::runtime_error(status.to_string()) {}
+};
+
+/// Either a T or an error Status (never an ok Status).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : value_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(value_).ok() &&
+           "a Result error must carry a non-ok Status");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The ok Status or the carried error.
+  [[nodiscard]] Status status() const {
+    return ok() ? Status{} : std::get<1>(value_);
+  }
+
+  /// Access the value; throws BadResultAccess if this holds an error.
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw BadResultAccess(std::get<1>(value_));
+    return std::get<0>(value_);
+  }
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess(std::get<1>(value_));
+    return std::get<0>(value_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw BadResultAccess(std::get<1>(value_));
+    return std::get<0>(std::move(value_));
+  }
+
+  /// Unchecked access; only valid when ok().
+  [[nodiscard]] T& operator*() & { return std::get<0>(value_); }
+  [[nodiscard]] const T& operator*() const& { return std::get<0>(value_); }
+  [[nodiscard]] T* operator->() { return &std::get<0>(value_); }
+  [[nodiscard]] const T* operator->() const { return &std::get<0>(value_); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace xoridx::api

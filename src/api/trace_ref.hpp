@@ -1,0 +1,109 @@
+// TraceRef: one value type naming a trace wherever it lives.
+//
+// The internal layers take a trace three different ways — an in-memory
+// trace::Trace, a v1/v2 file path, or a streaming tracestore::TraceSource
+// — and before the API existed every caller picked an overload pair per
+// operation. A TraceRef collapses those: callers build one ref (memory /
+// file / streaming / custom source) and every API operation accepts it,
+// lowering to the right internal overload. Refs are cheap to copy; an
+// in-memory ref shares ownership of its trace.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/status.hpp"
+#include "engine/campaign.hpp"
+#include "trace/trace.hpp"
+#include "tracestore/trace_id.hpp"
+#include "tracestore/trace_source.hpp"
+
+namespace xoridx::api {
+
+class TraceRef {
+ public:
+  enum class Kind {
+    memory,         ///< an in-memory trace::Trace (shared ownership)
+    file,           ///< a v1/v2 file, loaded eagerly when first needed
+    streaming_file, ///< a v1/v2 file, streamed chunk by chunk (O(chunk))
+    custom_source,  ///< a caller-supplied TraceSource factory
+  };
+
+  using SourceFactory =
+      std::function<std::unique_ptr<tracestore::TraceSource>()>;
+
+  /// An in-memory trace under a display name.
+  [[nodiscard]] static TraceRef memory(std::string name, trace::Trace t);
+  [[nodiscard]] static TraceRef memory(
+      std::string name, std::shared_ptr<const trace::Trace> t);
+
+  /// Borrow an in-memory trace without copying it. The caller must
+  /// keep `t` alive for the lifetime of the ref and of anything
+  /// created from it (requests, reports in flight).
+  [[nodiscard]] static TraceRef borrowed(std::string name,
+                                         const trace::Trace& t);
+
+  /// A v1/v2 trace file, materialized eagerly when first consumed.
+  /// The one-argument form uses the path as the display name.
+  [[nodiscard]] static TraceRef file(std::string name, std::string path);
+  [[nodiscard]] static TraceRef file(std::string path);
+
+  /// A v1/v2 trace file streamed through the trace store (mmap-backed
+  /// for v2): consumers never materialize it.
+  [[nodiscard]] static TraceRef streaming(std::string name,
+                                          std::string path);
+  [[nodiscard]] static TraceRef streaming(std::string path);
+
+  /// A streaming trace behind a caller-supplied factory (remote fetch,
+  /// generators, ...). Each factory call must yield an independent
+  /// source. Pass the content id if known; otherwise it is computed
+  /// with one scan on first use.
+  [[nodiscard]] static TraceRef source(std::string name,
+                                       SourceFactory factory,
+                                       tracestore::TraceId id = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  /// Backing file path; empty for memory/custom-source refs.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] bool is_streaming() const noexcept {
+    return kind_ == Kind::streaming_file || kind_ == Kind::custom_source;
+  }
+
+  /// Cheap structural check: the backing exists and its header parses
+  /// (memory refs: a trace is attached; files: magic + header are
+  /// valid). Does not scan trace bodies.
+  [[nodiscard]] Status validate() const;
+
+  /// Materialize the trace (copies a memory ref's trace; loads/drains
+  /// the other kinds).
+  [[nodiscard]] Result<trace::Trace> load() const;
+
+  /// Open a fresh streaming source over the trace, whatever its kind.
+  [[nodiscard]] Result<std::unique_ptr<tracestore::TraceSource>> open()
+      const;
+
+  /// Lower to the engine's sweep-entry form. Internal seam used by the
+  /// Explorer; stable for frontends that drive engine::Campaign
+  /// directly.
+  [[nodiscard]] engine::TraceEntry lower() const;
+
+ private:
+  TraceRef(Kind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  /// The cheap subset of validate(): attachment/existence checks only,
+  /// no header parsing. load()/open() use this so they don't open the
+  /// backing file twice.
+  [[nodiscard]] Status precheck() const;
+
+  Kind kind_ = Kind::memory;
+  std::string name_;
+  std::shared_ptr<const trace::Trace> trace_;  ///< memory refs
+  std::string path_;                           ///< file refs
+  SourceFactory factory_;                      ///< custom-source refs
+  tracestore::TraceId id_;                     ///< optional known id
+};
+
+}  // namespace xoridx::api

@@ -1,0 +1,38 @@
+// Library version, part of the stable public API.
+//
+// Semver: the major number guards incompatible changes to xoridx/api.hpp
+// (Status/Result, TraceRef, Strategy grammar, Explorer), the minor number
+// additions, the patch number fixes. Pre-1.0, minor bumps may still break.
+#pragma once
+
+#define XORIDX_VERSION_MAJOR 0
+#define XORIDX_VERSION_MINOR 3
+#define XORIDX_VERSION_PATCH 0
+#define XORIDX_VERSION "0.3.0"
+
+namespace xoridx::api {
+
+struct Version {
+  int major = 0;
+  int minor = 0;
+  int patch = 0;
+
+  friend constexpr bool operator==(const Version&, const Version&) = default;
+};
+
+/// The int triple matching XORIDX_VERSION.
+[[nodiscard]] constexpr Version version() {
+  return {XORIDX_VERSION_MAJOR, XORIDX_VERSION_MINOR, XORIDX_VERSION_PATCH};
+}
+
+/// The semver string.
+[[nodiscard]] constexpr const char* version_string() {
+  return XORIDX_VERSION;
+}
+
+/// Range of on-disk trace-format versions this build reads and writes
+/// (v1 fixed records .. v2 chunk-compressed).
+inline constexpr int min_trace_format_version = 1;
+inline constexpr int max_trace_format_version = 2;
+
+}  // namespace xoridx::api

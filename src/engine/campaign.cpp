@@ -43,20 +43,50 @@ FunctionConfig FunctionConfig::classify(std::string label) {
   return {std::move(label), ClassifyMissesJob{}};
 }
 
+void resolve_file_metadata(TraceEntry& entry) {
+  // Header-level metadata only: the trace itself stays on disk.
+  const tracestore::TraceFileInfo info =
+      tracestore::trace_file_info(entry.path);
+  if (entry.id.empty()) entry.id = info.id;
+  entry.accesses = info.accesses;
+  entry.metadata_resolved = true;
+}
+
+void resolve_source_metadata(TraceEntry& entry) {
+  if (!entry.source_factory)
+    throw std::invalid_argument("trace '" + entry.name +
+                                "' has no source factory");
+  const std::unique_ptr<tracestore::TraceSource> source =
+      entry.source_factory();
+  if (!source)
+    throw std::runtime_error("trace '" + entry.name +
+                             "': source factory returned null");
+  entry.accesses = source->size();
+  if (entry.id.empty()) {
+    // No header to read the id from: one scan over the source.
+    tracestore::TraceIdHasher hasher;
+    tracestore::for_each_access(
+        *source, [&hasher](const trace::Access& a) { hasher.update(a); });
+    entry.id = hasher.digest();
+  }
+  entry.metadata_resolved = true;
+}
+
 Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
   for (TraceEntry& entry : spec_.traces) {
-    if (!entry.trace && entry.path.empty())
-      throw std::invalid_argument("campaign trace '" + entry.name +
-                                  "' has neither data nor a file path");
-    if (!entry.trace && !entry.streaming)  // eager file entry
-      entry.trace = std::make_shared<const trace::Trace>(
+    if (!entry.trace && entry.path.empty() && !entry.source_factory)
+      throw std::invalid_argument(
+          "campaign trace '" + entry.name +
+          "' has neither data nor a file path nor a source factory");
+    if (!entry.trace && !entry.streaming && !entry.source_factory)
+      entry.trace = std::make_shared<const trace::Trace>(  // eager file
           tracestore::load_trace_any(entry.path));
-    if (entry.streaming) {
-      // Header-level metadata only: the trace itself stays on disk.
-      const tracestore::TraceFileInfo info =
-          tracestore::trace_file_info(entry.path);
-      if (entry.id.empty()) entry.id = info.id;
-      entry.accesses = info.accesses;
+    if (entry.source_factory) {
+      entry.streaming = true;  // factories are always streamed
+      if (!entry.metadata_resolved) resolve_source_metadata(entry);
+    } else if (entry.streaming) {
+      // Skipped when the caller (api::Explorer) already filled it.
+      if (!entry.metadata_resolved) resolve_file_metadata(entry);
     } else {
       if (entry.id.empty()) entry.id = tracestore::trace_id_of(*entry.trace);
       entry.accesses = entry.trace->size();
@@ -124,7 +154,35 @@ cache::CacheStats Campaign::baseline_stats(std::size_t trace_index,
 
 std::unique_ptr<tracestore::TraceSource> Campaign::open_source(
     const TraceEntry& entry) {
+  if (entry.source_factory) {
+    std::unique_ptr<tracestore::TraceSource> source = entry.source_factory();
+    if (!source)
+      throw std::runtime_error("trace '" + entry.name +
+                               "': source factory returned null");
+    return source;
+  }
   return tracestore::open_trace_source(entry.path);
+}
+
+std::exception_ptr Campaign::wrap_current_exception(const Job& job) const {
+  const TraceEntry& entry = spec_.traces[job.trace_index];
+  const cache::CacheGeometry& geom = spec_.geometries[job.geometry_index];
+  try {
+    throw;
+  } catch (const CampaignError&) {
+    return std::current_exception();
+  } catch (const std::invalid_argument& e) {
+    return std::make_exception_ptr(
+        CampaignError(entry.name, geom, job.label, e.what(),
+                      CampaignError::Cause::invalid_argument));
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(
+        CampaignError(entry.name, geom, job.label, e.what()));
+  } catch (...) {
+    return std::make_exception_ptr(
+        CampaignError(entry.name, geom, job.label, "unknown error",
+                      CampaignError::Cause::unknown));
+  }
 }
 
 JobResult Campaign::execute(const Job& job) {
@@ -289,20 +347,40 @@ std::vector<JobResult> Campaign::run(const CampaignOptions& options) {
   std::vector<JobResult> results(jobs_.size());
   if (options.sink) options.sink->begin();
 
+  // Terminate the sink on a failure path without letting a throwing
+  // end() mask the error being surfaced.
+  const auto end_sink_noexcept = [&options]() noexcept {
+    if (!options.sink) return;
+    try {
+      options.sink->end();
+    } catch (...) {
+    }
+  };
+
   const unsigned threads = options.num_threads == 0
                                ? ThreadPool::default_threads()
                                : options.num_threads;
   if (threads <= 1 || jobs_.size() <= 1) {
-    try {
-      for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      try {
         results[i] = execute(jobs_[i]);
-        if (options.sink) options.sink->write(results[i]);
+      } catch (...) {
+        // Terminate the sink so streamed output (e.g. a JSON array)
+        // stays well-formed even when a job fails mid-sweep, and attach
+        // the failing cell to the surfaced error.
+        end_sink_noexcept();
+        std::rethrow_exception(wrap_current_exception(jobs_[i]));
       }
-    } catch (...) {
-      // Terminate the sink so streamed output (e.g. a JSON array) stays
-      // well-formed even when a job fails mid-sweep.
-      if (options.sink) options.sink->end();
-      throw;
+      if (options.sink) {
+        try {
+          options.sink->write(results[i]);
+        } catch (...) {
+          // A sink failure is not a job failure: terminate the stream
+          // and surface it unwrapped.
+          end_sink_noexcept();
+          throw;
+        }
+      }
     }
     if (options.sink) options.sink->end();
     return results;
@@ -321,7 +399,9 @@ std::vector<JobResult> Campaign::run(const CampaignOptions& options) {
       try {
         r = execute(jobs_[i]);
       } catch (...) {
-        error = std::current_exception();
+        // Attach the cell before the exception crosses the pool
+        // boundary: by rethrow time the job index is long gone.
+        error = wrap_current_exception(jobs_[i]);
       }
       std::lock_guard lock(emit_mutex);
       if (error) {
@@ -331,15 +411,25 @@ std::vector<JobResult> Campaign::run(const CampaignOptions& options) {
       results[i] = std::move(r);
       done[i] = 1;
       // Stream the longest completed prefix not yet emitted: insertion
-      // order regardless of completion order.
-      if (options.sink && !first_error)
-        while (emitted < jobs_.size() && done[emitted])
-          options.sink->write(results[emitted++]);
+      // order regardless of completion order. A throwing sink must not
+      // escape the pool task (std::terminate); record it like a job
+      // failure and stop emitting.
+      if (options.sink && !first_error) {
+        try {
+          while (emitted < jobs_.size() && done[emitted])
+            options.sink->write(results[emitted++]);
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
     });
   }
   pool.wait_idle();
+  if (first_error) {
+    end_sink_noexcept();  // the recorded job failure wins
+    std::rethrow_exception(first_error);
+  }
   if (options.sink) options.sink->end();
-  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,17 +31,25 @@
 
 namespace xoridx::engine {
 
-/// One trace of a sweep: either an in-memory Trace or a file opened
-/// through the trace store. A streaming (mmap) entry never materializes
-/// the trace — every job pulls its own TraceSource, keeping resident
-/// decoded memory O(chunk) per running job.
+/// One trace of a sweep: an in-memory Trace, a file opened through the
+/// trace store, or a caller-supplied TraceSource factory (remote chunk
+/// fetch, synthetic generators, ...). A streaming entry never
+/// materializes the trace — every job pulls its own TraceSource, keeping
+/// resident decoded memory O(chunk) per running job.
 struct TraceEntry {
   std::string name;
   std::shared_ptr<const trace::Trace> trace;  ///< null for streaming entries
   std::string path;        ///< backing file; empty for in-memory entries
   bool streaming = false;  ///< read through the trace store (mmap)
+  /// When set, streaming jobs open sources here instead of `path`. Must
+  /// be callable concurrently; each call returns an independent source.
+  std::function<std::unique_ptr<tracestore::TraceSource>()> source_factory;
   tracestore::TraceId id;  ///< stable content id; Campaign fills it if empty
   std::uint64_t accesses = 0;  ///< filled by Campaign
+  /// True once id/accesses are known for a streaming entry. Campaign
+  /// resolves unresolved entries at construction; callers that resolve
+  /// ahead of time (api::Explorer) set it to skip the second pass.
+  bool metadata_resolved = false;
 };
 
 /// One column of a sweep: a label plus the job payload run for every
@@ -94,9 +104,75 @@ struct SweepSpec {
     traces.push_back(std::move(entry));
   }
 
+  /// A streaming trace behind a caller-supplied source factory. With an
+  /// empty `id` the campaign computes the content id with one scan at
+  /// construction.
+  void add_trace_source(
+      std::string name,
+      std::function<std::unique_ptr<tracestore::TraceSource>()> factory,
+      tracestore::TraceId id = {}) {
+    TraceEntry entry;
+    entry.name = std::move(name);
+    entry.streaming = true;
+    entry.source_factory = std::move(factory);
+    entry.id = id;
+    traces.push_back(std::move(entry));
+  }
+
   [[nodiscard]] std::size_t job_count() const {
     return traces.size() * geometries.size() * configs.size();
   }
+};
+
+/// Fill a streaming file entry's id/accesses from its file header (one
+/// header parse; v1 files pay a content-id scan). Throws on
+/// missing/corrupt files; callers wanting Status-style attribution
+/// (api::Explorer) wrap it.
+void resolve_file_metadata(TraceEntry& entry);
+
+/// Open one source of a factory-backed entry and fill its metadata:
+/// accesses from size(), and — when `entry.id` is empty — the content
+/// id via a full scan. Throws whatever the factory or source throws;
+/// callers wanting Status-style attribution (api::Explorer) wrap it.
+void resolve_source_metadata(TraceEntry& entry);
+
+/// A job failure with the sweep cell attached: which (trace, geometry,
+/// strategy label) was executing when the underlying layer threw. The
+/// campaign wraps every worker exception in one of these before
+/// surfacing it, so callers (and the api::Explorer facade) can report
+/// the failing cell instead of a bare message.
+class CampaignError : public std::runtime_error {
+ public:
+  /// Coarse class of the wrapped exception, preserved so upper layers
+  /// (the api facade) can classify the failure without re-parsing the
+  /// message.
+  enum class Cause { runtime, invalid_argument, unknown };
+
+  CampaignError(std::string trace_name, const cache::CacheGeometry& geometry,
+                std::string label, const std::string& message,
+                Cause cause = Cause::runtime)
+      : std::runtime_error("job [" + trace_name + " x " +
+                           geometry.to_string() + " x " + label +
+                           "]: " + message),
+        trace_name_(std::move(trace_name)),
+        geometry_(geometry),
+        label_(std::move(label)),
+        cause_(cause) {}
+
+  [[nodiscard]] const std::string& trace_name() const noexcept {
+    return trace_name_;
+  }
+  [[nodiscard]] const cache::CacheGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] Cause cause() const noexcept { return cause_; }
+
+ private:
+  std::string trace_name_;
+  cache::CacheGeometry geometry_;
+  std::string label_;
+  Cause cause_ = Cause::runtime;
 };
 
 struct CampaignOptions {
@@ -141,6 +217,10 @@ class Campaign {
   /// Fresh streaming source for a streaming entry (one per job pass).
   [[nodiscard]] static std::unique_ptr<tracestore::TraceSource> open_source(
       const TraceEntry& entry);
+  /// The in-flight exception wrapped in a CampaignError naming the
+  /// job's cell (CampaignErrors pass through untouched).
+  [[nodiscard]] std::exception_ptr wrap_current_exception(
+      const Job& job) const;
 
   SweepSpec spec_;
   std::vector<Job> jobs_;

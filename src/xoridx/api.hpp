@@ -1,0 +1,28 @@
+// xoridx/api.hpp — the stable public surface of the library.
+//
+// Everything a frontend needs for the paper's design-time flow (profile
+// a trace, search a function class, re-simulate exactly; Sections 3 & 6)
+// and for sweeping that flow over traces x geometries x strategies:
+//
+//   Status / Result<T>   error model — no exceptions cross this boundary
+//                        (except Result<T>::value() on request)
+//   TraceRef             one value naming a trace: in-memory, v1/v2 file
+//                        (eager or streaming), or a TraceSource factory
+//   Strategy             a sweep column with a string spec grammar
+//                        ("base", "perm:fanin=2", "bitselect:exact", ...)
+//   Explorer             explore(ExplorationRequest) -> Result<Report>,
+//                        lowered onto the parallel evaluation engine
+//   build_profile / tune / simulate / trace_info / convert_trace
+//                        one-shot operations through the same model
+//   XORIDX_VERSION       semver of this surface
+//
+// Headers under src/ other than this one are the internal layer: they
+// may change between minor versions; examples, benches and services
+// should include only xoridx/api.hpp for their top-level flow.
+#pragma once
+
+#include "api/explorer.hpp"   // IWYU pragma: export
+#include "api/status.hpp"     // IWYU pragma: export
+#include "api/strategy.hpp"   // IWYU pragma: export
+#include "api/trace_ref.hpp"  // IWYU pragma: export
+#include "api/version.hpp"    // IWYU pragma: export

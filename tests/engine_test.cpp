@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "engine/thread_pool.hpp"
 #include "hash/xor_function.hpp"
 #include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
 
 namespace xoridx::engine {
@@ -261,6 +263,43 @@ TEST(Sinks, CsvEscapesCommasQuotesAndNewlines) {
   EXPECT_NE(out.find("line1; line2"), std::string::npos);
   EXPECT_EQ(out.find('\n', out.find("a,b")),
             out.size() - 1);  // one data row, newline-free fields
+}
+
+// A worker failure must surface as a CampaignError naming the failing
+// (trace, geometry, label) cell — not as the bare underlying exception.
+// The failing entry here is a streaming file deleted after campaign
+// construction (metadata was read, per-job open fails), both serially
+// and on the pool.
+TEST(Campaign, WorkerFailureNamesTheCell) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xoridx_engine_vanish.bin")
+          .string();
+  trace::save_trace(path, trace::stride_trace(0, 4096, 64));
+
+  for (const unsigned threads : {1u, 4u}) {
+    SweepSpec spec;
+    spec.add_trace("healthy", trace::stride_trace(0, 4096, 64));
+    spec.add_trace_file("vanishing", path, /*streaming=*/true);
+    spec.geometries = {CacheGeometry(1024, 4)};
+    spec.configs = {FunctionConfig::baseline("base")};
+    Campaign campaign(std::move(spec));
+    std::filesystem::remove(path);
+
+    CampaignOptions options;
+    options.num_threads = threads;
+    try {
+      (void)campaign.run(options);
+      FAIL() << "expected CampaignError (threads=" << threads << ")";
+    } catch (const CampaignError& e) {
+      EXPECT_EQ(e.trace_name(), "vanishing");
+      EXPECT_EQ(e.geometry(), CacheGeometry(1024, 4));
+      EXPECT_EQ(e.label(), "base");
+      EXPECT_NE(std::string(e.what()).find("vanishing"), std::string::npos);
+    }
+    // Recreate for the next thread-count round.
+    trace::save_trace(path, trace::stride_trace(0, 4096, 64));
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(Sinks, JsonEscapesStrings) {
