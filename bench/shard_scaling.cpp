@@ -1,0 +1,147 @@
+// Shard scaling: how well ShardPlan's cost balancing spreads a campaign,
+// and what the critical path (slowest shard) looks like as the shard
+// count grows — the number that predicts multi-process / multi-host
+// wall-clock. Every shard's output is merged and checked byte-identical
+// to the unsharded run, so the bench doubles as an end-to-end identity
+// smoke over plan -> run -> merge.
+//
+//   shard_scaling [--full] [--workloads K] [--shards N,N,...]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workloads/workload.hpp"
+#include "xoridx/shard.hpp"
+
+namespace {
+
+using namespace xoridx;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+api::ExplorationRequest make_request(workloads::Scale scale,
+                                     std::size_t num_workloads) {
+  api::ExplorationRequest request;
+  request.hashed_bits = bench::paper_hashed_bits;
+  const std::vector<std::string>& names =
+      workloads::workload_names(workloads::Suite::table2);
+  for (std::size_t i = 0; i < names.size() && i < num_workloads; ++i) {
+    workloads::Workload w = workloads::make_workload(names[i], scale);
+    request.traces.push_back(api::TraceRef::memory(w.name, std::move(w.data)));
+  }
+  for (const cache::CacheGeometry& g : bench::paper_geometries())
+    request.geometries.emplace_back(g);
+  request.strategies =
+      api::parse_strategies("base,perm:2,perm").value();
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::size_t num_workloads = 10;
+  std::vector<std::uint32_t> shard_counts = {1, 2, 3, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc) {
+      const int v = std::atoi(argv[++i]);
+      if (v > 0) num_workloads = static_cast<std::size_t>(v);
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts.clear();
+      std::stringstream ss(argv[++i]);
+      std::string item;
+      while (std::getline(ss, item, ','))
+        if (const int v = std::atoi(item.c_str()); v > 0)
+          shard_counts.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  const workloads::Scale scale =
+      full ? workloads::Scale::full : workloads::Scale::small;
+  const api::ExplorationRequest request = make_request(scale, num_workloads);
+
+  const Clock::time_point full_start = Clock::now();
+  const api::Result<shard::Report> unsharded = shard::run_campaign(request);
+  const double full_s = seconds_since(full_start);
+  if (!unsharded.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n",
+                 unsharded.status().to_string().c_str());
+    return 1;
+  }
+  std::ostringstream full_csv;
+  unsharded->write_csv(full_csv);
+  std::printf("shard scaling: %llu cells (%zu traces x %zu geometries x %zu "
+              "strategies), %s traces\n",
+              static_cast<unsigned long long>(unsharded->total_cells),
+              request.traces.size(), request.geometries.size(),
+              request.strategies.size(), full ? "full" : "small");
+  std::printf("unsharded run: %.3f s\n\n", full_s);
+  std::printf("%7s %12s %12s %12s %10s %9s\n", "shards", "critical(s)",
+              "sum(s)", "cost max/avg", "cells max", "identical");
+
+  for (const std::uint32_t n : shard_counts) {
+    const api::Result<shard::ShardPlan> plan =
+        shard::ShardPlan::partition(request, n);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n", plan.status().to_string().c_str());
+      return 1;
+    }
+    double critical = 0.0;
+    double sum = 0.0;
+    double cost_max = 0.0;
+    double cost_sum = 0.0;
+    std::uint64_t cells_max = 0;
+    std::vector<shard::Report> reports;
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      const Clock::time_point start = Clock::now();
+      api::Result<shard::Report> report = shard::run_shard(request, *plan, i);
+      const double elapsed = seconds_since(start);
+      if (!report.ok()) {
+        std::fprintf(stderr, "FAIL shard %u/%u: %s\n", i, n,
+                     report.status().to_string().c_str());
+        return 1;
+      }
+      critical = std::max(critical, elapsed);
+      sum += elapsed;
+      cost_max = std::max(cost_max, plan->estimated_cost(i));
+      cost_sum += plan->estimated_cost(i);
+      cells_max = std::max(cells_max,
+                           static_cast<std::uint64_t>(report->cells.size()));
+      reports.push_back(std::move(*report));
+    }
+    const api::Result<shard::Report> merged =
+        shard::merge_reports(std::move(reports));
+    if (!merged.ok()) {
+      std::fprintf(stderr, "FAIL merge %u: %s\n", n,
+                   merged.status().to_string().c_str());
+      return 1;
+    }
+    std::ostringstream merged_csv;
+    merged->write_csv(merged_csv);
+    const bool identical = merged_csv.str() == full_csv.str();
+    const double cost_avg = cost_sum / static_cast<double>(n);
+    std::printf("%7u %12.3f %12.3f %12.2f %10llu %9s\n", n, critical, sum,
+                cost_avg > 0 ? cost_max / cost_avg : 0.0,
+                static_cast<unsigned long long>(cells_max),
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: merged %u-shard CSV diverged from the unsharded "
+                   "run\n",
+                   n);
+      return 1;
+    }
+  }
+  std::printf("\ncritical(s) is the slowest shard — the wall-clock an "
+              "N-process run would take.\n");
+  return 0;
+}

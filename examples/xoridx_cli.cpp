@@ -18,7 +18,17 @@
 //       Run a trace x geometry x strategy sweep on the parallel
 //       evaluation engine and stream results as CSV or JSON. With --mmap,
 //       --trace files are streamed chunk-by-chunk through the trace
-//       store instead of being materialized in memory.
+//       store instead of being materialized in memory. With --shard i/N
+//       the process runs only its share of the campaign's cells (every
+//       shard computes the same partition from the same arguments), and
+//       --report-out saves the cells as a mergeable shard report.
+//   xoridx_cli merge <shard.rpt>... [--out merged.rpt] [--csv file|-]
+//       Merge shard reports back into the unsharded campaign report;
+//       the merged CSV is byte-identical to a single-process run.
+//   xoridx_cli report info <file>
+//       Print a shard report's header and failing cells.
+//   xoridx_cli report csv <file> [out]
+//       Render a shard report's rows as CSV.
 //   xoridx_cli trace convert <in> <out> [--to v1|v2] [--chunk N]
 //       Convert between the v1 fixed-record and v2 chunk-compressed
 //       trace formats, streaming (O(chunk) memory).
@@ -40,7 +50,7 @@
 #include "hash/serialize.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
-#include "xoridx/api.hpp"
+#include "xoridx/shard.hpp"
 
 namespace {
 
@@ -63,9 +73,14 @@ int usage() {
                "      [--classes spec,spec,...] [--threads N] "
                "[--format csv|json]\n"
                "      [--trace file.bin]... [--mmap] [--small] [--out file]\n"
+               "      [--shard i/N] [--report-out file]\n"
                "    strategy specs: %s\n"
                "      (legacy aliases: classify general opt opt-est "
                "perm:<fan_in>)\n"
+               "  xoridx_cli merge <shard.rpt>... [--out merged.rpt] "
+               "[--csv file|-]\n"
+               "  xoridx_cli report info <file>\n"
+               "  xoridx_cli report csv <file> [out]\n"
                "  xoridx_cli trace convert <in> <out> [--to v1|v2] "
                "[--chunk N]\n"
                "  xoridx_cli trace info <file>\n"
@@ -227,6 +242,8 @@ int cmd_engine(int argc, char** argv) {
   request.hashed_bits = hashed_bits;
   std::string format = "csv";
   std::string out_path;
+  std::string shard_spec;
+  std::string report_out;
   workloads::Scale scale = workloads::Scale::full;
   std::vector<std::string> cache_list = {"1024", "4096", "16384"};
   std::string class_specs = "base,perm:2,perm";
@@ -270,10 +287,40 @@ int cmd_engine(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage();
       out_path = v;
+    } else if (arg == "--shard") {
+      const char* v = value();
+      if (!v) return usage();
+      shard_spec = v;
+    } else if (arg == "--report-out") {
+      const char* v = value();
+      if (!v) return usage();
+      report_out = v;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage();
     }
+  }
+
+  // --shard is validated before any trace is synthesized or loaded: a
+  // malformed spec is a usage error (exit 2) naming the bad value, not
+  // an assertion after seconds of workload generation.
+  shard::ShardRef shard_ref;  // defaults to 1/1
+  if (!shard_spec.empty()) {
+    const api::Result<shard::ShardRef> parsed =
+        shard::parse_shard_ref(shard_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().to_string().c_str());
+      return 2;
+    }
+    shard_ref = *parsed;
+  }
+  const bool sharded = !shard_spec.empty() || !report_out.empty();
+  if (sharded && format != "csv") {
+    std::fprintf(stderr,
+                 "error: --shard/--report-out produce CSV and report "
+                 "files; --format json is not supported with them\n");
+    return 2;
   }
 
   std::vector<std::string> names;
@@ -322,6 +369,38 @@ int cmd_engine(int argc, char** argv) {
     }
   }
   std::ostream& os = out_path.empty() ? std::cout : file_out;
+
+  if (sharded) {
+    const api::Result<shard::ShardPlan> plan =
+        shard::ShardPlan::partition(request, shard_ref.count);
+    if (!plan.ok()) return fail(plan.status());
+    std::uint64_t owned = 0;
+    for (const shard::CellRange& r : plan->ranges(shard_ref.index))
+      owned += r.size();
+    std::fprintf(stderr,
+                 "[engine] shard %s of request %s: %llu of %llu cells, "
+                 "estimated %.0f cost units\n",
+                 shard_ref.to_string().c_str(),
+                 plan->fingerprint().to_string().c_str(),
+                 static_cast<unsigned long long>(owned),
+                 static_cast<unsigned long long>(plan->total_cells()),
+                 plan->estimated_cost(shard_ref.index));
+    const api::Result<shard::Report> report =
+        shard::run_shard(request, *plan, shard_ref.index);
+    if (!report.ok()) return fail(report.status());
+    if (!report_out.empty())
+      if (const api::Status saved = shard::save_report(*report, report_out);
+          !saved.ok())
+        return fail(saved);
+    report->write_csv(os);
+    std::fprintf(stderr, "[engine] shard %s: %zu cells, %zu failed%s%s\n",
+                 shard_ref.to_string().c_str(), report->cells.size(),
+                 report->error_count(),
+                 report_out.empty() ? "" : ", report saved to ",
+                 report_out.c_str());
+    return report->error_count() == 0 ? 0 : 1;
+  }
+
   std::unique_ptr<api::ResultSink> sink;
   if (format == "json")
     sink = std::make_unique<api::JsonSink>(os);
@@ -342,6 +421,113 @@ int cmd_engine(int argc, char** argv) {
                static_cast<unsigned long long>(report->profiles_built),
                static_cast<unsigned long long>(report->profiles_shared));
   return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string out_path;
+  std::string csv_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" || arg == "--csv") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option %s needs a value\n", arg.c_str());
+        return usage();
+      }
+      (arg == "--out" ? out_path : csv_path) = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<shard::Report> shards;
+  for (const std::string& path : inputs) {
+    api::Result<shard::Report> loaded = shard::load_report(path);
+    if (!loaded.ok()) return fail(loaded.status());
+    shards.push_back(std::move(*loaded));
+  }
+  const api::Result<shard::Report> merged =
+      shard::merge_reports(std::move(shards));
+  if (!merged.ok()) return fail(merged.status());
+
+  if (!out_path.empty())
+    if (const api::Status saved = shard::save_report(*merged, out_path);
+        !saved.ok())
+      return fail(saved);
+  // Default to CSV on stdout so `merge a b c > out.csv` does the
+  // expected thing when no destination options are given.
+  if (!csv_path.empty() || out_path.empty()) {
+    std::ofstream file_out;
+    const bool to_stdout = csv_path.empty() || csv_path == "-";
+    if (!to_stdout) {
+      file_out.open(csv_path);
+      if (!file_out) {
+        std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+        return 1;
+      }
+    }
+    merged->write_csv(to_stdout ? std::cout : file_out);
+  }
+  std::fprintf(stderr,
+               "[merge] %zu shards -> %zu cells (%zu failed), request %s\n",
+               inputs.size(), merged->cells.size(), merged->error_count(),
+               merged->fingerprint.to_string().c_str());
+  return 0;
+}
+
+int cmd_report_info(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const api::Result<shard::Report> loaded = shard::load_report(argv[3]);
+  if (!loaded.ok()) return fail(loaded.status());
+  const shard::Report& r = *loaded;
+  std::printf("format          shard report v%u\n",
+              static_cast<unsigned>(shard::report_format_version));
+  std::printf("written by      xoridx %d.%d.%d\n", r.written_by.major,
+              r.written_by.minor, r.written_by.patch);
+  std::printf("request         %s\n", r.fingerprint.to_string().c_str());
+  std::printf("shard           %u/%u\n", r.shard_index, r.num_shards);
+  std::printf("grid            %u traces x %u geometries x %u strategies "
+              "(%llu cells)\n",
+              r.trace_count, r.geometry_count, r.strategy_count,
+              static_cast<unsigned long long>(r.total_cells));
+  std::printf("cells carried   %zu in %zu ranges, %zu failed\n",
+              r.cells.size(), r.ranges.size(), r.error_count());
+  for (const shard::Cell& cell : r.cells)
+    if (!cell.ok())
+      std::printf("  cell %llu failed: %s: %s\n",
+                  static_cast<unsigned long long>(cell.index),
+                  api::status_code_name(cell.error().code),
+                  cell.error().message.c_str());
+  return 0;
+}
+
+int cmd_report_csv(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const api::Result<shard::Report> loaded = shard::load_report(argv[3]);
+  if (!loaded.ok()) return fail(loaded.status());
+  std::ofstream file_out;
+  const bool to_stdout = argc < 5 || std::strcmp(argv[4], "-") == 0;
+  if (!to_stdout) {
+    file_out.open(argv[4]);
+    if (!file_out) {
+      std::fprintf(stderr, "cannot open %s\n", argv[4]);
+      return 1;
+    }
+  }
+  loaded->write_csv(to_stdout ? std::cout : file_out);
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "info") return cmd_report_info(argc, argv);
+  if (sub == "csv") return cmd_report_csv(argc, argv);
+  return usage();
 }
 
 int cmd_trace_convert(int argc, char** argv) {
@@ -425,6 +611,8 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(argc, argv);
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "engine") return cmd_engine(argc, argv);
+    if (command == "merge") return cmd_merge(argc, argv);
+    if (command == "report") return cmd_report(argc, argv);
     if (command == "trace") return cmd_trace(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

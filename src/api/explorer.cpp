@@ -16,18 +16,6 @@ namespace {
 
 using internal::status_from_current_exception;
 
-/// The lowered engine column of a strategy: the prebuilt config when
-/// parse_strategy already ran, else parse now (deferred strategies).
-Result<engine::FunctionConfig> lower_strategy(const Strategy& strategy) {
-  if (strategy.config) return *strategy.config;
-  Result<Strategy> parsed = parse_strategy(strategy.spec);
-  if (!parsed.ok()) return parsed.status();
-  engine::FunctionConfig config = std::move(*parsed->config);
-  if (!strategy.label.empty() && strategy.label != strategy.spec)
-    config.label = strategy.label;
-  return config;
-}
-
 }  // namespace
 
 Result<cache::CacheGeometry> GeometrySpec::validate() const {
@@ -47,7 +35,8 @@ std::string GeometrySpec::to_string() const {
 
 unsigned default_threads() { return engine::ThreadPool::default_threads(); }
 
-Result<Report> Explorer::explore(const ExplorationRequest& request) {
+Result<internal::LoweredRequest> internal::validate_and_lower(
+    const ExplorationRequest& request) {
   if (request.traces.empty())
     return Status(StatusCode::invalid_argument,
                   "exploration request names no traces");
@@ -65,9 +54,7 @@ Result<Report> Explorer::explore(const ExplorationRequest& request) {
                       std::to_string(request.hashed_bits) +
                       " (the conflict profile holds 2^n counters)");
 
-  engine::SweepSpec spec;
-  spec.hashed_bits = request.hashed_bits;
-
+  LoweredRequest lowered;
   for (const GeometrySpec& g : request.geometries) {
     Result<cache::CacheGeometry> geom = g.validate();
     if (!geom.ok()) return geom.status();
@@ -79,14 +66,25 @@ Result<Report> Explorer::explore(const ExplorationRequest& request) {
                         std::to_string(request.hashed_bits) +
                         " address bits (m <= n required)")
           .with_geometry(geom->to_string());
-    spec.geometries.push_back(*geom);
+    lowered.geometries.push_back(*geom);
   }
-
   for (const Strategy& strategy : request.strategies) {
     Result<engine::FunctionConfig> config = lower_strategy(strategy);
     if (!config.ok()) return config.status();
-    spec.configs.push_back(std::move(*config));
+    lowered.configs.push_back(std::move(*config));
   }
+  return lowered;
+}
+
+Result<Report> Explorer::explore(const ExplorationRequest& request) {
+  Result<internal::LoweredRequest> lowered =
+      internal::validate_and_lower(request);
+  if (!lowered.ok()) return lowered.status();
+
+  engine::SweepSpec spec;
+  spec.hashed_bits = request.hashed_bits;
+  spec.geometries = std::move(lowered->geometries);
+  spec.configs = std::move(lowered->configs);
 
   for (const TraceRef& ref : request.traces) {
     engine::TraceEntry entry = ref.lower();
@@ -207,6 +205,8 @@ Result<TuneOutcome> tune(const TraceRef& trace, const GeometrySpec& geometry,
   options.hashed_bits = hashed_bits;
   options.search.function_class = search_job->function_class;
   options.search.max_fan_in = search_job->max_fan_in;
+  options.search.random_restarts = search_job->random_restarts;
+  options.search.seed = search_job->seed;
   options.revert_if_worse = search_job->revert_if_worse;
   try {
     const profile::ConflictProfile prof =

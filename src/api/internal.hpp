@@ -1,8 +1,14 @@
-// Internal helpers shared by the api/ implementation files. Not part of
-// the public surface — do not include from outside src/api/.
+// Internal helpers shared by the api/ and shard/ implementation files.
+// Not part of the public surface — do not include from examples or
+// benches.
 #pragma once
 
+#include <vector>
+
+#include "api/explorer.hpp"
 #include "api/status.hpp"
+#include "cache/geometry.hpp"
+#include "engine/campaign.hpp"
 
 namespace xoridx::api::internal {
 
@@ -10,5 +16,22 @@ namespace xoridx::api::internal {
 /// invalid_argument, any other std::exception -> `runtime_code`,
 /// non-standard exceptions -> internal.
 [[nodiscard]] Status status_from_current_exception(StatusCode runtime_code);
+
+/// The request's geometries and strategies, validated and lowered to the
+/// engine's types.
+struct LoweredRequest {
+  std::vector<cache::CacheGeometry> geometries;
+  std::vector<engine::FunctionConfig> configs;
+};
+
+/// The one request-validation path: empty-field checks, the hashed_bits
+/// bound, geometry validation (including m <= n) and strategy lowering.
+/// Explorer::explore and shard::ShardPlan::partition both call this, so
+/// sharded and unsharded runs accept exactly the same requests with
+/// exactly the same errors. Trace resolution is NOT covered — the two
+/// callers need different depths (explore materializes, the plan only
+/// reads metadata).
+[[nodiscard]] Result<LoweredRequest> validate_and_lower(
+    const ExplorationRequest& request);
 
 }  // namespace xoridx::api::internal

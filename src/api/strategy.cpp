@@ -11,6 +11,8 @@ namespace {
 /// Options any spec may carry; each strategy validates which it accepts.
 struct SpecOptions {
   std::optional<int> fanin;
+  std::optional<int> restarts;
+  std::optional<std::uint64_t> seed;
   bool revert = false;
   bool exact = false;
   bool estimated = false;
@@ -51,6 +53,24 @@ Result<SpecOptions> parse_options(std::string_view spec,
       out.exact = true;
     } else if (token == "est" || token == "estimated") {
       out.estimated = true;
+    } else if (token.rfind("restarts=", 0) == 0) {
+      const std::string_view digits = token.substr(9);
+      int value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (!all_digits(digits) || ec != std::errc{} || value < 0)
+        return bad_spec(spec, "restart count '" + std::string(token) +
+                                  "' must be a non-negative integer");
+      out.restarts = value;
+    } else if (token.rfind("seed=", 0) == 0) {
+      const std::string_view digits = token.substr(5);
+      std::uint64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (!all_digits(digits) || ec != std::errc{})
+        return bad_spec(spec, "seed '" + std::string(token) +
+                                  "' must be an unsigned integer");
+      out.seed = value;
     } else if (all_digits(token) ||
                (token.rfind("fanin=", 0) == 0 &&
                 all_digits(token.substr(6)))) {
@@ -72,7 +92,8 @@ Result<SpecOptions> parse_options(std::string_view spec,
 
 Status reject_option(std::string_view spec, std::string_view name,
                      const SpecOptions& o, bool allow_fanin,
-                     bool allow_revert, bool allow_mode) {
+                     bool allow_revert, bool allow_mode,
+                     bool allow_restarts = false) {
   if (o.fanin && !allow_fanin)
     return bad_spec(spec, "strategy '" + std::string(name) +
                               "' takes no fan-in option");
@@ -82,6 +103,9 @@ Status reject_option(std::string_view spec, std::string_view name,
   if ((o.exact || o.estimated) && !allow_mode)
     return bad_spec(spec, "strategy '" + std::string(name) +
                               "' takes no 'exact'/'est' option");
+  if ((o.restarts || o.seed) && !allow_restarts)
+    return bad_spec(spec, "strategy '" + std::string(name) +
+                              "' takes no 'restarts'/'seed' option");
   return {};
 }
 
@@ -124,6 +148,16 @@ Strategy Strategy::deferred(std::string spec, std::string label) {
   return s;
 }
 
+Result<engine::FunctionConfig> lower_strategy(const Strategy& strategy) {
+  if (strategy.config) return *strategy.config;
+  Result<Strategy> parsed = parse_strategy(strategy.spec);
+  if (!parsed.ok()) return parsed.status();
+  engine::FunctionConfig config = std::move(*parsed->config);
+  if (!strategy.label.empty() && strategy.label != strategy.spec)
+    config.label = strategy.label;
+  return config;
+}
+
 Result<Strategy> parse_strategy(std::string_view spec) {
   if (spec.empty())
     return Status(StatusCode::parse_error, "empty strategy spec");
@@ -142,6 +176,9 @@ Result<Strategy> parse_strategy(std::string_view spec) {
   out.spec = std::string(spec);
   out.label = out.spec;
   const int fanin = options.fanin.value_or(search::SearchOptions::unlimited);
+  const int restarts = options.restarts.value_or(0);
+  const std::uint64_t seed =
+      options.seed.value_or(search::SearchOptions{}.seed);
 
   // Legacy aliases map onto the canonical names first.
   if (name == "classify") name = "3c";
@@ -172,17 +209,19 @@ Result<Strategy> parse_strategy(std::string_view spec) {
       return s;
     out.config = engine::FunctionConfig::classify(out.label);
   } else if (name == "perm") {
-    if (Status s = reject_option(spec, name, options, true, true, false);
+    if (Status s = reject_option(spec, name, options, true, true, false, true);
         !s.ok())
       return s;
     out.config = engine::FunctionConfig::optimize(
-        out.label, search::FunctionClass::permutation, fanin, options.revert);
+        out.label, search::FunctionClass::permutation, fanin, options.revert,
+        restarts, seed);
   } else if (name == "xor") {
-    if (Status s = reject_option(spec, name, options, true, true, false);
+    if (Status s = reject_option(spec, name, options, true, true, false, true);
         !s.ok())
       return s;
     out.config = engine::FunctionConfig::optimize(
-        out.label, search::FunctionClass::general_xor, fanin, options.revert);
+        out.label, search::FunctionClass::general_xor, fanin, options.revert,
+        restarts, seed);
   } else if (name == "bitselect") {
     if (options.exact && options.estimated)
       return bad_spec(spec, "'exact' and 'est' are mutually exclusive");
@@ -193,12 +232,13 @@ Result<Strategy> parse_strategy(std::string_view spec) {
       out.config = engine::FunctionConfig::optimal_bit_select(
           out.label, /*use_estimator=*/options.estimated);
     } else {
-      if (Status s = reject_option(spec, name, options, false, true, true);
+      if (Status s =
+              reject_option(spec, name, options, false, true, true, true);
           !s.ok())
         return s;
       out.config = engine::FunctionConfig::optimize(
           out.label, search::FunctionClass::bit_select,
-          search::SearchOptions::unlimited, options.revert);
+          search::SearchOptions::unlimited, options.revert, restarts, seed);
     }
   } else {
     return Status(StatusCode::parse_error,
@@ -234,13 +274,13 @@ const std::vector<StrategyInfo>& strategy_registry() {
       {"base", "", "conventional modulo index (exact simulation)"},
       {"fa", "", "equal-capacity fully-associative LRU bound"},
       {"3c", "", "3C miss breakdown under the conventional index"},
-      {"perm", "[:fanin=N][:revert]",
+      {"perm", "[:fanin=N][:revert][:restarts=N][:seed=S]",
        "permutation-based XOR search (paper Section 4)"},
-      {"xor", "[:fanin=N][:revert]",
+      {"xor", "[:fanin=N][:revert][:restarts=N][:seed=S]",
        "general XOR search (null-space search)"},
-      {"bitselect", "[:exact|:est|:revert]",
+      {"bitselect", "[:revert][:restarts=N][:seed=S] | [:exact|:est]",
        "bit-selecting search; ':exact'/':est' run the exhaustive "
-       "optimal bit-select instead"},
+       "optimal bit-select instead (which takes no other options)"},
   };
   return registry;
 }

@@ -18,17 +18,22 @@
 //   fa          —                            fully-associative LRU bound
 //   3c          —                            3C miss breakdown (alias:
 //                                            classify)
-//   perm        fanin=N, revert, N           permutation-based XOR search
-//                                            (alias: permutation)
-//   xor         fanin=N, revert              general XOR search (alias:
-//                                            general)
-//   bitselect   revert                       heuristic 1-in search
+//   perm        fanin=N, revert, N,          permutation-based XOR search
+//               restarts=N, seed=S           (alias: permutation)
+//   xor         fanin=N, revert,             general XOR search (alias:
+//               restarts=N, seed=S           general)
+//   bitselect   revert, restarts=N, seed=S   heuristic 1-in search
 //   bitselect   exact | est                  exhaustive optimal bit-select
 //                                            (aliases: opt, opt-est)
 //
+// The hill-climbing strategies take "restarts=N" (seeded random starting
+// points beyond the conventional index) and "seed=S"; results stay a
+// deterministic function of the spec, which campaign sharding relies on.
+//
 // Examples: "base", "perm:fanin=2", "perm:2", "xor:fanin=4:revert",
-// "bitselect:exact", "3c". A strategy's label defaults to its spec
-// string so result tables read back the spec that produced each column.
+// "perm:restarts=4:seed=7", "bitselect:exact", "3c". A strategy's label
+// defaults to its spec string so result tables read back the spec that
+// produced each column.
 #pragma once
 
 #include <optional>
@@ -84,6 +89,13 @@ struct Strategy {
 /// Parse one spec string against the registry. The error Status of a bad
 /// spec names the offending token.
 [[nodiscard]] Result<Strategy> parse_strategy(std::string_view spec);
+
+/// The lowered engine column of a strategy: the prebuilt config when
+/// parse_strategy already ran, else parse now (deferred strategies).
+/// Shared by Explorer::explore and the shard planner so both lower a
+/// request identically.
+[[nodiscard]] Result<engine::FunctionConfig> lower_strategy(
+    const Strategy& strategy);
 
 /// Parse a comma-separated list of specs ("base,perm:2,fa"); fails on
 /// the first bad token, naming it. Empty tokens (doubled or trailing

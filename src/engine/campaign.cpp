@@ -28,10 +28,12 @@ FunctionConfig FunctionConfig::fully_associative(std::string label) {
 
 FunctionConfig FunctionConfig::optimize(std::string label,
                                         search::FunctionClass function_class,
-                                        int max_fan_in,
-                                        bool revert_if_worse) {
+                                        int max_fan_in, bool revert_if_worse,
+                                        int random_restarts,
+                                        std::uint64_t seed) {
   return {std::move(label),
-          OptimizeIndexJob{function_class, max_fan_in, revert_if_worse}};
+          OptimizeIndexJob{function_class, max_fan_in, revert_if_worse,
+                           random_restarts, seed}};
 }
 
 FunctionConfig FunctionConfig::optimal_bit_select(std::string label,
@@ -258,6 +260,8 @@ JobResult Campaign::execute(const Job& job) {
       options.hashed_bits = self.spec_.hashed_bits;
       options.search.function_class = j.function_class;
       options.search.max_fan_in = j.max_fan_in;
+      options.search.random_restarts = j.random_restarts;
+      options.search.seed = j.seed;
       options.revert_if_worse = j.revert_if_worse;
       // The conventional-index run is memoized per (trace, geometry);
       // passing it in saves every optimize job a full-trace simulation

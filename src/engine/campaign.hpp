@@ -67,10 +67,13 @@ struct FunctionConfig {
   [[nodiscard]] static FunctionConfig fully_associative(
       std::string label = "fa");
   /// Profile-guided search of one function class / fan-in limit.
+  /// `random_restarts` > 0 adds seeded restarts beyond the conventional
+  /// starting point (deterministic for a fixed seed).
   [[nodiscard]] static FunctionConfig optimize(
       std::string label, search::FunctionClass function_class,
       int max_fan_in = search::SearchOptions::unlimited,
-      bool revert_if_worse = false);
+      bool revert_if_worse = false, int random_restarts = 0,
+      std::uint64_t seed = search::SearchOptions{}.seed);
   /// Exhaustive bit-selecting search (exact, or estimator-guided).
   [[nodiscard]] static FunctionConfig optimal_bit_select(
       std::string label = "opt", bool use_estimator = false);

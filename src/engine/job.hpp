@@ -31,10 +31,14 @@ struct EvaluateFunctionJob {
 
 /// Profile the trace (shared via the campaign's ProfileCache) and search
 /// one function class / fan-in limit for the smallest Eq.-4 estimate.
+/// Restarts are seeded, so a job's outcome is a pure function of (trace,
+/// geometry, this struct) — the property campaign sharding relies on.
 struct OptimizeIndexJob {
   search::FunctionClass function_class = search::FunctionClass::permutation;
   int max_fan_in = search::SearchOptions::unlimited;
   bool revert_if_worse = false;
+  int random_restarts = 0;
+  std::uint64_t seed = search::SearchOptions{}.seed;
 };
 
 /// Exhaustive bit-selecting search (Patel et al. baseline). With

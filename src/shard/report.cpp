@@ -1,0 +1,492 @@
+#include "shard/report.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "engine/report.hpp"
+
+namespace xoridx::shard {
+
+namespace {
+
+using api::Result;
+using api::Status;
+using api::StatusCode;
+
+constexpr char report_magic[8] = {'X', 'O', 'R', 'I', 'D', 'X', 'R', '1'};
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i)
+    h = (h ^ data[i]) * 1099511628211ull;
+  return h;
+}
+
+// ------------------------------------------------------------- encoding
+// Everything is little-endian by construction (byte shifts, not memcpy),
+// so report files move between hosts.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian reader; every read fails softly so a
+/// corrupt length field can never walk past the buffer.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) {
+    if (size_ - off_ < 1) return false;
+    v = data_[off_++];
+    return true;
+  }
+  [[nodiscard]] bool u16(std::uint16_t& v) {
+    return integer<std::uint16_t, 2>(v);
+  }
+  [[nodiscard]] bool u32(std::uint32_t& v) {
+    return integer<std::uint32_t, 4>(v);
+  }
+  [[nodiscard]] bool u64(std::uint64_t& v) {
+    return integer<std::uint64_t, 8>(v);
+  }
+  [[nodiscard]] bool str(std::string& s) {
+    std::uint32_t len = 0;
+    if (!u32(len) || size_ - off_ < len) return false;
+    s.assign(reinterpret_cast<const char*>(data_ + off_), len);
+    off_ += len;
+    return true;
+  }
+  [[nodiscard]] std::size_t remaining() const { return size_ - off_; }
+  [[nodiscard]] std::size_t offset() const { return off_; }
+
+ private:
+  template <typename T, int Bytes>
+  [[nodiscard]] bool integer(T& v) {
+    if (size_ - off_ < Bytes) return false;
+    std::uint64_t out = 0;
+    for (int i = 0; i < Bytes; ++i)
+      out |= static_cast<std::uint64_t>(data_[off_ + i]) << (8 * i);
+    off_ += Bytes;
+    v = static_cast<T>(out);
+    return true;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t off_ = 0;
+};
+
+void encode_cell(std::string& out, const Cell& cell) {
+  put_u64(out, cell.index);
+  if (cell.ok()) {
+    const engine::JobResult& r = cell.row();
+    put_u8(out, 0);
+    put_str(out, r.trace_name);
+    put_u32(out, r.geometry.size_bytes);
+    put_u32(out, r.geometry.block_bytes);
+    put_u32(out, r.geometry.associativity);
+    put_str(out, r.label);
+    put_str(out, r.kind);
+    put_u64(out, r.accesses);
+    put_u64(out, r.baseline_misses);
+    put_u64(out, r.misses);
+    put_u64(out, r.estimated_misses);
+    put_u8(out, r.reverted ? 1 : 0);
+    put_u64(out, r.breakdown.accesses);
+    put_u64(out, r.breakdown.misses);
+    put_u64(out, r.breakdown.compulsory);
+    put_u64(out, r.breakdown.capacity);
+    put_u64(out, r.breakdown.conflict);
+    put_str(out, r.function_description);
+  } else {
+    const CellError& e = cell.error();
+    put_u8(out, 1);
+    put_u8(out, static_cast<std::uint8_t>(e.code));
+    put_str(out, e.message);
+    put_str(out, e.trace);
+    put_str(out, e.geometry);
+    put_str(out, e.strategy);
+  }
+}
+
+Status truncated(const Cursor& cursor) {
+  return Status(StatusCode::io_error,
+                "shard report truncated or corrupt near byte " +
+                    std::to_string(cursor.offset()));
+}
+
+Result<Cell> decode_cell(Cursor& cursor) {
+  Cell cell;
+  std::uint8_t tag = 0;
+  if (!cursor.u64(cell.index) || !cursor.u8(tag))
+    return truncated(cursor);
+  if (tag == 0) {
+    engine::JobResult r;
+    std::uint32_t size = 0;
+    std::uint32_t block = 0;
+    std::uint32_t assoc = 0;
+    std::uint8_t reverted = 0;
+    if (!cursor.str(r.trace_name) || !cursor.u32(size) ||
+        !cursor.u32(block) || !cursor.u32(assoc) || !cursor.str(r.label) ||
+        !cursor.str(r.kind) || !cursor.u64(r.accesses) ||
+        !cursor.u64(r.baseline_misses) || !cursor.u64(r.misses) ||
+        !cursor.u64(r.estimated_misses) || !cursor.u8(reverted) ||
+        !cursor.u64(r.breakdown.accesses) || !cursor.u64(r.breakdown.misses) ||
+        !cursor.u64(r.breakdown.compulsory) ||
+        !cursor.u64(r.breakdown.capacity) ||
+        !cursor.u64(r.breakdown.conflict) ||
+        !cursor.str(r.function_description))
+      return truncated(cursor);
+    try {
+      r.geometry = cache::CacheGeometry(size, block, assoc);
+    } catch (const std::exception& e) {
+      return Status(StatusCode::io_error,
+                    std::string("shard report cell carries an invalid "
+                                "geometry: ") +
+                        e.what());
+    }
+    r.reverted = reverted != 0;
+    cell.outcome = std::move(r);
+  } else if (tag == 1) {
+    CellError e;
+    std::uint8_t code = 0;
+    if (!cursor.u8(code) || !cursor.str(e.message) || !cursor.str(e.trace) ||
+        !cursor.str(e.geometry) || !cursor.str(e.strategy))
+      return truncated(cursor);
+    if (code > static_cast<std::uint8_t>(StatusCode::internal))
+      return Status(StatusCode::io_error,
+                    "shard report cell carries unknown status code " +
+                        std::to_string(code));
+    e.code = static_cast<StatusCode>(code);
+    cell.outcome = std::move(e);
+  } else {
+    return Status(StatusCode::io_error,
+                  "shard report cell has unknown tag " + std::to_string(tag));
+  }
+  return cell;
+}
+
+/// Structural invariants shared by load and merge: ranges sorted and
+/// disjoint inside [0, total]; cells ascending, one per covered index.
+Status check_structure(const Report& report) {
+  if (report.total_cells !=
+      static_cast<std::uint64_t>(report.trace_count) * report.geometry_count *
+          report.strategy_count)
+    return Status(StatusCode::io_error,
+                  "shard report grid (" + std::to_string(report.trace_count) +
+                      " x " + std::to_string(report.geometry_count) + " x " +
+                      std::to_string(report.strategy_count) +
+                      ") does not match its total of " +
+                      std::to_string(report.total_cells) + " cells");
+  if (report.shard_index == 0 || report.shard_index > report.num_shards)
+    return Status(StatusCode::io_error,
+                  "shard report index " + std::to_string(report.shard_index) +
+                      " out of range for " +
+                      std::to_string(report.num_shards) + " shards");
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < report.ranges.size(); ++i) {
+    const CellRange& r = report.ranges[i];
+    if (r.begin >= r.end || r.end > report.total_cells)
+      return Status(StatusCode::io_error,
+                    "shard report cell range [" + std::to_string(r.begin) +
+                        ", " + std::to_string(r.end) + ") is invalid");
+    if (i > 0 && r.begin < report.ranges[i - 1].end)
+      return Status(StatusCode::io_error,
+                    "shard report cell ranges overlap or are unsorted");
+    covered += r.size();
+  }
+  if (covered != report.cells.size())
+    return Status(StatusCode::io_error,
+                  "shard report covers " + std::to_string(covered) +
+                      " cells but carries " +
+                      std::to_string(report.cells.size()));
+  std::size_t range_index = 0;
+  std::uint64_t expected = report.ranges.empty() ? 0 : report.ranges[0].begin;
+  for (const Cell& cell : report.cells) {
+    while (range_index < report.ranges.size() &&
+           expected >= report.ranges[range_index].end) {
+      ++range_index;
+      if (range_index < report.ranges.size())
+        expected = report.ranges[range_index].begin;
+    }
+    if (range_index >= report.ranges.size() || cell.index != expected)
+      return Status(StatusCode::io_error,
+                    "shard report cell " + std::to_string(cell.index) +
+                        " does not match its declared ranges");
+    ++expected;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::size_t Report::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(),
+                    [](const Cell& c) { return !c.ok(); }));
+}
+
+void Report::write_csv(std::ostream& os) const {
+  engine::CsvSink sink(os);
+  sink.begin();
+  for (const Cell& cell : cells)
+    if (cell.ok()) sink.write(cell.row());
+  sink.end();
+}
+
+api::Status save_report(const Report& report, const std::string& path) {
+  std::string out;
+  out.append(report_magic, sizeof(report_magic));
+  put_u16(out, report_format_version);
+  put_u16(out, static_cast<std::uint16_t>(report.written_by.major));
+  put_u16(out, static_cast<std::uint16_t>(report.written_by.minor));
+  put_u16(out, static_cast<std::uint16_t>(report.written_by.patch));
+  put_u64(out, report.fingerprint.lo);
+  put_u64(out, report.fingerprint.hi);
+  put_u32(out, report.shard_index);
+  put_u32(out, report.num_shards);
+  put_u64(out, report.total_cells);
+  put_u32(out, report.trace_count);
+  put_u32(out, report.geometry_count);
+  put_u32(out, report.strategy_count);
+  put_u32(out, static_cast<std::uint32_t>(report.ranges.size()));
+  for (const CellRange& r : report.ranges) {
+    put_u64(out, r.begin);
+    put_u64(out, r.end);
+  }
+  put_u64(out, static_cast<std::uint64_t>(report.cells.size()));
+  for (const Cell& cell : report.cells) encode_cell(out, cell);
+  put_u64(out, fnv1a(reinterpret_cast<const unsigned char*>(out.data()),
+                     out.size()));
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os)
+    return Status(StatusCode::io_error,
+                  "cannot open report file for writing: " + path);
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  os.flush();
+  if (!os)
+    return Status(StatusCode::io_error, "short write to report file: " + path);
+  return {};
+}
+
+api::Result<Report> load_report(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return Status(StatusCode::not_found, "report file not found: " + path);
+  std::string data((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  if (!is.good() && !is.eof())
+    return Status(StatusCode::io_error, "cannot read report file: " + path);
+
+  // Header through checksum trailer is the minimum well-formed file.
+  if (data.size() < sizeof(report_magic) + 2 + 8)
+    return Status(StatusCode::io_error,
+                  "report file too short to be a shard report: " + path);
+  if (std::memcmp(data.data(), report_magic, sizeof(report_magic)) != 0)
+    return Status(StatusCode::io_error,
+                  "not a shard report file (bad magic): " + path);
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  const std::uint64_t stored_checksum =
+      [&] {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+          v |= static_cast<std::uint64_t>(bytes[data.size() - 8 + i])
+               << (8 * i);
+        return v;
+      }();
+  Cursor cursor(bytes, data.size() - 8);
+
+  Report report;
+  std::uint16_t format = 0;
+  std::uint16_t major = 0;
+  std::uint16_t minor = 0;
+  std::uint16_t patch = 0;
+  // Skip the magic we already verified.
+  {
+    std::uint64_t ignored = 0;
+    if (!cursor.u64(ignored)) return truncated(cursor);
+  }
+  if (!cursor.u16(format)) return truncated(cursor);
+  if (format != report_format_version)
+    return Status(StatusCode::io_error,
+                  "shard report format v" + std::to_string(format) +
+                      " unsupported (this build reads v" +
+                      std::to_string(report_format_version) + "): " + path);
+  if (fnv1a(bytes, data.size() - 8) != stored_checksum)
+    return Status(StatusCode::io_error,
+                  "shard report checksum mismatch (truncated or corrupt): " +
+                      path);
+  if (!cursor.u16(major) || !cursor.u16(minor) || !cursor.u16(patch) ||
+      !cursor.u64(report.fingerprint.lo) ||
+      !cursor.u64(report.fingerprint.hi) ||
+      !cursor.u32(report.shard_index) || !cursor.u32(report.num_shards) ||
+      !cursor.u64(report.total_cells) || !cursor.u32(report.trace_count) ||
+      !cursor.u32(report.geometry_count) ||
+      !cursor.u32(report.strategy_count))
+    return truncated(cursor);
+  report.written_by = {major, minor, patch};
+  std::uint32_t range_count = 0;
+  if (!cursor.u32(range_count)) return truncated(cursor);
+  report.ranges.reserve(std::min<std::uint32_t>(range_count, 1u << 20));
+  for (std::uint32_t i = 0; i < range_count; ++i) {
+    CellRange r;
+    if (!cursor.u64(r.begin) || !cursor.u64(r.end)) return truncated(cursor);
+    report.ranges.push_back(r);
+  }
+  std::uint64_t cell_count = 0;
+  if (!cursor.u64(cell_count)) return truncated(cursor);
+  // Each cell occupies well over 10 bytes; reject counts the remaining
+  // bytes cannot hold, and let the vector grow with the cells actually
+  // parsed — a corrupt count must never drive a large preallocation
+  // (reserve on a crafted count could throw bad_alloc out of a function
+  // documented never to throw).
+  if (cell_count > cursor.remaining() / 10)
+    return Status(StatusCode::io_error,
+                  "shard report declares " + std::to_string(cell_count) +
+                      " cells but only " +
+                      std::to_string(cursor.remaining()) +
+                      " bytes remain: " + path);
+  for (std::uint64_t i = 0; i < cell_count; ++i) {
+    Result<Cell> cell = decode_cell(cursor);
+    if (!cell.ok()) return cell.status();
+    report.cells.push_back(std::move(*cell));
+  }
+  if (cursor.remaining() != 0)
+    return Status(StatusCode::io_error,
+                  "shard report has " + std::to_string(cursor.remaining()) +
+                      " trailing bytes: " + path);
+  if (Status status = check_structure(report); !status.ok())
+    return Status(status.code(), status.message() + ": " + path);
+  return report;
+}
+
+api::Result<Report> merge_reports(std::vector<Report> shards) {
+  if (shards.empty())
+    return Status(StatusCode::invalid_argument, "no shard reports to merge");
+  const Report& base = shards.front();
+  for (const Report& shard : shards) {
+    if (Status status = check_structure(shard); !status.ok()) return status;
+    if (shard.fingerprint != base.fingerprint)
+      return Status(StatusCode::invalid_argument,
+                    "shard " + std::to_string(shard.shard_index) +
+                        " belongs to a different request (fingerprint " +
+                        shard.fingerprint.to_string() + " != " +
+                        base.fingerprint.to_string() + ")");
+    if (!(shard.written_by == base.written_by))
+      return Status(StatusCode::invalid_argument,
+                    "version skew: shard " +
+                        std::to_string(shard.shard_index) +
+                        " was written by xoridx " +
+                        std::to_string(shard.written_by.major) + "." +
+                        std::to_string(shard.written_by.minor) + "." +
+                        std::to_string(shard.written_by.patch) +
+                        ", expected " + std::to_string(base.written_by.major) +
+                        "." + std::to_string(base.written_by.minor) + "." +
+                        std::to_string(base.written_by.patch));
+    if (shard.num_shards != base.num_shards ||
+        shard.total_cells != base.total_cells ||
+        shard.trace_count != base.trace_count ||
+        shard.geometry_count != base.geometry_count ||
+        shard.strategy_count != base.strategy_count)
+      return Status(StatusCode::invalid_argument,
+                    "shard " + std::to_string(shard.shard_index) +
+                        " disagrees about the campaign shape (shards/cells/"
+                        "grid)");
+  }
+
+  // Walk the sorted indices against the expected 1..N sequence — O(given
+  // shards) with no N-sized allocation, so a crafted num_shards (up to
+  // UINT32_MAX) yields a descriptive error instead of a huge bitmap.
+  std::vector<std::uint32_t> indices;
+  indices.reserve(shards.size());
+  for (const Report& shard : shards) indices.push_back(shard.shard_index);
+  std::sort(indices.begin(), indices.end());
+  std::uint64_t next = 1;
+  for (const std::uint32_t index : indices) {
+    if (index < next)
+      return Status(StatusCode::invalid_argument,
+                    "duplicate shard index " + std::to_string(index));
+    if (index > next)
+      return Status(StatusCode::invalid_argument,
+                    "missing shard " + std::to_string(next) + " of " +
+                        std::to_string(base.num_shards));
+    ++next;
+  }
+  if (next != static_cast<std::uint64_t>(base.num_shards) + 1)
+    return Status(StatusCode::invalid_argument,
+                  "missing shard " + std::to_string(next) + " of " +
+                      std::to_string(base.num_shards));
+
+  // With indices exactly 1..N, coverage errors can only come from
+  // corrupt range tables; the tiling check catches them.
+  std::vector<CellRange> all_ranges;
+  for (const Report& shard : shards)
+    all_ranges.insert(all_ranges.end(), shard.ranges.begin(),
+                      shard.ranges.end());
+  std::sort(all_ranges.begin(), all_ranges.end(),
+            [](const CellRange& a, const CellRange& b) {
+              return a.begin < b.begin;
+            });
+  std::uint64_t expected = 0;
+  for (const CellRange& r : all_ranges) {
+    if (r.begin < expected)
+      return Status(StatusCode::invalid_argument,
+                    "shard cell ranges overlap at cell " +
+                        std::to_string(r.begin));
+    if (r.begin > expected)
+      return Status(StatusCode::invalid_argument,
+                    "shards leave cells [" + std::to_string(expected) + ", " +
+                        std::to_string(r.begin) + ") uncovered");
+    expected = r.end;
+  }
+  if (expected != base.total_cells)
+    return Status(StatusCode::invalid_argument,
+                  "shards cover only " + std::to_string(expected) + " of " +
+                      std::to_string(base.total_cells) + " cells");
+
+  Report merged;
+  merged.fingerprint = base.fingerprint;
+  merged.written_by = base.written_by;
+  merged.shard_index = 1;
+  merged.num_shards = 1;
+  merged.total_cells = base.total_cells;
+  merged.trace_count = base.trace_count;
+  merged.geometry_count = base.geometry_count;
+  merged.strategy_count = base.strategy_count;
+  merged.ranges = {CellRange{0, base.total_cells}};
+  merged.cells.reserve(static_cast<std::size_t>(base.total_cells));
+  for (Report& shard : shards)
+    for (Cell& cell : shard.cells) merged.cells.push_back(std::move(cell));
+  std::sort(merged.cells.begin(), merged.cells.end(),
+            [](const Cell& a, const Cell& b) { return a.index < b.index; });
+  return merged;
+}
+
+}  // namespace xoridx::shard

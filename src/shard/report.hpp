@@ -1,0 +1,107 @@
+// Shard reports: the on-disk unit a sharded campaign exchanges.
+//
+// A Report is the outcome of one shard (or of a whole campaign — a
+// merged report is just the 1/1 shard): which request it belongs to
+// (fingerprint + grid dimensions), which flat cell ranges it covers, and
+// one Cell per covered cell — either the engine's JobResult row or the
+// CampaignError-style failure that cell produced. Serialization is
+// versioned (format magic + version, plus the XORIDX_VERSION that wrote
+// the file), little-endian, and ends in a whole-file checksum, so
+// truncated or bit-flipped shard files are rejected with a Status
+// instead of being merged.
+//
+// merge_reports reassembles shard outputs into the unsharded report:
+// same fingerprint, same grid, shard indices exactly 1..N, cell ranges
+// tiling [0, total) with no overlap. The merged report serializes
+// byte-identically to a 1-shard run of the same request.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/status.hpp"
+#include "api/version.hpp"
+#include "engine/job.hpp"
+#include "shard/plan.hpp"
+
+namespace xoridx::shard {
+
+/// On-disk format version of report files (bumped on incompatible layout
+/// changes; readers reject other versions with a descriptive Status).
+inline constexpr std::uint16_t report_format_version = 1;
+
+/// A cell that failed: the Status the campaign surfaced for it, with the
+/// failing (trace, geometry, strategy) attribution preserved.
+struct CellError {
+  api::StatusCode code = api::StatusCode::internal;
+  std::string message;
+  std::string trace;
+  std::string geometry;
+  std::string strategy;
+
+  friend bool operator==(const CellError&, const CellError&) = default;
+};
+
+/// One sweep cell a shard ran: its flat index in the parent request's
+/// cell order and either the result row or the error.
+struct Cell {
+  std::uint64_t index = 0;
+  std::variant<engine::JobResult, CellError> outcome;
+
+  [[nodiscard]] bool ok() const noexcept { return outcome.index() == 0; }
+  [[nodiscard]] const engine::JobResult& row() const {
+    return std::get<engine::JobResult>(outcome);
+  }
+  [[nodiscard]] const CellError& error() const {
+    return std::get<CellError>(outcome);
+  }
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+struct Report {
+  Fingerprint fingerprint;
+  api::Version written_by = api::version();
+  std::uint32_t shard_index = 1;  ///< 1-based
+  std::uint32_t num_shards = 1;
+  std::uint64_t total_cells = 0;  ///< of the parent request
+  std::uint32_t trace_count = 0;
+  std::uint32_t geometry_count = 0;
+  std::uint32_t strategy_count = 0;
+  std::vector<CellRange> ranges;  ///< sorted, coalesced, non-overlapping
+  std::vector<Cell> cells;        ///< ascending by index, one per covered cell
+
+  [[nodiscard]] std::size_t error_count() const;
+  /// True when this report covers every cell of its request (a merged
+  /// report, or a 1-shard run).
+  [[nodiscard]] bool complete() const {
+    return cells.size() == total_cells;
+  }
+
+  /// The ok rows in cell order through engine::CsvSink — byte-identical
+  /// to the CSV a direct Explorer::explore of the same (sub)request
+  /// streams. Error cells produce no row.
+  void write_csv(std::ostream& os) const;
+
+  friend bool operator==(const Report&, const Report&) = default;
+};
+
+/// Serialize to/from the versioned binary format. save_report writes
+/// atomically enough for the CI flow (single write, flush, close) and
+/// returns a Status on any I/O failure; load_report never throws and
+/// rejects unknown magic, unsupported format versions, truncation,
+/// checksum mismatches and structurally inconsistent contents with a
+/// Status naming the problem.
+[[nodiscard]] api::Status save_report(const Report& report,
+                                      const std::string& path);
+[[nodiscard]] api::Result<Report> load_report(const std::string& path);
+
+/// Reassemble shard reports into the unsharded report. Rejects: an empty
+/// list, mismatched fingerprints / grids / library versions, duplicate
+/// or missing shard indices, and cell ranges that overlap or leave gaps.
+[[nodiscard]] api::Result<Report> merge_reports(std::vector<Report> shards);
+
+}  // namespace xoridx::shard

@@ -1,0 +1,120 @@
+#include "shard/runner.hpp"
+
+#include <utility>
+
+namespace xoridx::shard {
+
+namespace {
+
+using api::ExplorationRequest;
+using api::Result;
+using api::Status;
+using api::StatusCode;
+
+CellError cell_error_from(const Status& status) {
+  CellError error;
+  error.code = status.code();
+  error.message = status.message();
+  error.trace = status.trace();
+  error.geometry = status.geometry();
+  error.strategy = status.strategy();
+  return error;
+}
+
+/// One-cell request: the deterministic fallback unit. Whatever made the
+/// batched trace request fail, re-running each cell alone yields either
+/// its row or its own attributed Status — independent of which sibling
+/// cell failed first in the batch (under threads that order is racy).
+ExplorationRequest one_cell(const ExplorationRequest& request,
+                            std::size_t trace, std::size_t geometry,
+                            std::size_t strategy) {
+  ExplorationRequest sub;
+  sub.traces = {request.traces[trace]};
+  sub.geometries = {request.geometries[geometry]};
+  sub.strategies = {request.strategies[strategy]};
+  sub.hashed_bits = request.hashed_bits;
+  sub.num_threads = 1;
+  return sub;
+}
+
+}  // namespace
+
+api::Result<Report> run_shard(const api::ExplorationRequest& request,
+                              const ShardPlan& plan,
+                              std::uint32_t shard_index) {
+  if (shard_index == 0 || shard_index > plan.num_shards())
+    return Status(StatusCode::invalid_argument,
+                  "shard index " + std::to_string(shard_index) +
+                      " out of range for " +
+                      std::to_string(plan.num_shards()) + " shards");
+  if (request.traces.size() != plan.trace_count() ||
+      request.geometries.size() != plan.geometry_count() ||
+      request.strategies.size() != plan.strategy_count())
+    return Status(StatusCode::invalid_argument,
+                  "shard plan was computed from a different request "
+                  "(grid shape mismatch)");
+
+  const std::size_t geometry_count = plan.geometry_count();
+  const std::size_t strategy_count = plan.strategy_count();
+
+  Report report;
+  report.fingerprint = plan.fingerprint();
+  report.shard_index = shard_index;
+  report.num_shards = plan.num_shards();
+  report.total_cells = plan.total_cells();
+  report.trace_count = static_cast<std::uint32_t>(plan.trace_count());
+  report.geometry_count = static_cast<std::uint32_t>(geometry_count);
+  report.strategy_count = static_cast<std::uint32_t>(strategy_count);
+  report.ranges = plan.ranges(shard_index);
+
+  for (const ShardPlan::TraceSlice& slice : plan.slices(shard_index)) {
+    const auto cell_index = [&](std::size_t geometry, std::size_t strategy) {
+      return (static_cast<std::uint64_t>(slice.trace) * geometry_count +
+              geometry) *
+                 strategy_count +
+             strategy;
+    };
+
+    ExplorationRequest sub;
+    sub.traces = {request.traces[slice.trace]};
+    for (const std::size_t g : slice.geometries)
+      sub.geometries.push_back(request.geometries[g]);
+    sub.strategies = request.strategies;
+    sub.hashed_bits = request.hashed_bits;
+    sub.num_threads = request.num_threads;
+
+    Result<api::Report> batched = api::Explorer::explore(sub);
+    if (batched.ok()) {
+      std::size_t row = 0;
+      for (const std::size_t g : slice.geometries)
+        for (std::size_t s = 0; s < strategy_count; ++s)
+          report.cells.push_back(
+              Cell{cell_index(g, s), std::move(batched->rows[row++])});
+      continue;
+    }
+    // The batch failed mid-sweep: degrade to one cell per request so
+    // every cell gets its own row or its own attributed error, in a way
+    // that does not depend on scheduling or on the shard layout.
+    for (const std::size_t g : slice.geometries) {
+      for (std::size_t s = 0; s < strategy_count; ++s) {
+        Result<api::Report> single =
+            api::Explorer::explore(one_cell(request, slice.trace, g, s));
+        if (single.ok())
+          report.cells.push_back(
+              Cell{cell_index(g, s), std::move(single->rows.front())});
+        else
+          report.cells.push_back(
+              Cell{cell_index(g, s), cell_error_from(single.status())});
+      }
+    }
+  }
+  return report;
+}
+
+api::Result<Report> run_campaign(const api::ExplorationRequest& request) {
+  Result<ShardPlan> plan = ShardPlan::partition(request, 1);
+  if (!plan.ok()) return plan.status();
+  return run_shard(request, *plan, 1);
+}
+
+}  // namespace xoridx::shard

@@ -1,0 +1,39 @@
+// Shard execution: run the cells one shard owns and collect a Report.
+//
+// A shard executes its slices through api::Explorer — one batched
+// sub-request per owned trace (so the trace is loaded/streamed once and
+// the ProfileCache is shared across its strategies), falling back to
+// one-cell requests when a batch fails so every failing cell is recorded
+// individually as a CellError instead of aborting the shard. Cell
+// results are a pure function of (trace content, geometry, strategy), so
+// the same cell produces the same bytes whether it runs in a 1-shard or
+// an N-shard campaign — the property the differential tests pin down.
+//
+// The request's sink is ignored here: shard output is the Report (save
+// it with save_report; render rows with Report::write_csv).
+#pragma once
+
+#include <cstdint>
+
+#include "api/explorer.hpp"
+#include "api/status.hpp"
+#include "shard/plan.hpp"
+#include "shard/report.hpp"
+
+namespace xoridx::shard {
+
+/// Run the cells shard `shard_index` (1-based) of `plan` owns. The plan
+/// must have been computed from this request (the grid shape is checked
+/// here; content mismatches surface as fingerprint rejects at merge).
+[[nodiscard]] api::Result<Report> run_shard(
+    const api::ExplorationRequest& request, const ShardPlan& plan,
+    std::uint32_t shard_index);
+
+/// The unsharded reference run: partition into one shard and run it.
+/// Unlike Explorer::explore this never fails on a failing cell — the
+/// failure is recorded in the report — so it is the reference the
+/// differential harness compares merged shard outputs against.
+[[nodiscard]] api::Result<Report> run_campaign(
+    const api::ExplorationRequest& request);
+
+}  // namespace xoridx::shard

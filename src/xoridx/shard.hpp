@@ -1,0 +1,22 @@
+// xoridx/shard.hpp — sharded exploration campaigns, part of the stable
+// public surface (versioned by XORIDX_VERSION alongside xoridx/api.hpp).
+//
+// A campaign over traces x geometries x strategies can run as N
+// independent processes (and, later, hosts) that never talk to each
+// other:
+//
+//   ShardPlan::partition(request, N)   deterministic, cost-balanced
+//                                      partition with per-trace affinity
+//   run_shard(request, plan, i)        run shard i's cells -> Report
+//   save_report / load_report          versioned, checksummed shard files
+//   merge_reports(shards)              reassemble the unsharded Report,
+//                                      byte-identical to a 1-shard run
+//
+// Every shard computes the same plan from the same request, so
+// "--shard i/N" is the only coordination a process needs.
+#pragma once
+
+#include "shard/plan.hpp"    // IWYU pragma: export
+#include "shard/report.hpp"  // IWYU pragma: export
+#include "shard/runner.hpp"  // IWYU pragma: export
+#include "xoridx/api.hpp"    // IWYU pragma: export
