@@ -1,10 +1,13 @@
 // Shared helpers for the table-regenerating bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/geometry.hpp"
@@ -100,5 +103,129 @@ inline std::string cell(double v, int width = 6, int precision = 1) {
   std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
   return buf;
 }
+
+// ------------------------------------------------------------ --json mode
+//
+// Every perf bench shares one machine-readable report shape so CI and
+// future perf PRs diff against a tracked baseline:
+//
+//   {"benchmark": "<binary>",
+//    "rows": [
+//      {"name": "<measurement>", "<param>": ..., "wall_ms": ...,
+//       "evals_per_s": ..., ...},
+//      ...]}
+//
+// Convention: with --json the report goes to stdout and the human-
+// readable table moves to stderr, so `bench --json > out.json` captures a
+// clean document.
+
+/// steady_clock stopwatch; wall milliseconds since construction or the
+/// last reset.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Evaluations (or cells, accesses, ...) per second from a count and a
+/// wall time in ms.
+inline double per_second(std::uint64_t count, double wall_ms) {
+  return wall_ms <= 0.0 ? 0.0
+                        : 1000.0 * static_cast<double>(count) / wall_ms;
+}
+
+/// Ordered JSON report: one object per benchmark binary, one row per
+/// measurement. Values keep insertion order; numbers are emitted
+/// unquoted, everything else escaped as a JSON string.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  class Row {
+   public:
+    Row& num(const std::string& key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& num(const std::string& key, std::uint64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& num(const std::string& key, int v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& boolean(const std::string& key, bool v) {
+      fields_.emplace_back(key, v ? "true" : "false");
+      return *this;
+    }
+    Row& str(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, quote(v));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Start a row; the returned reference stays valid until the next call.
+  Row& row(const std::string& name) {
+    rows_.emplace_back();
+    rows_.back().str("name", name);
+    return rows_.back();
+  }
+
+  void write(std::ostream& os) const {
+    os << "{\"benchmark\": " << quote(benchmark_) << ",\n \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << (r == 0 ? "\n" : ",\n") << "  {";
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (f != 0) os << ", ";
+        os << quote(fields[f].first) << ": " << fields[f].second;
+      }
+      os << "}";
+    }
+    os << "\n ]}\n";
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string benchmark_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace xoridx::bench

@@ -10,11 +10,14 @@
 // still must match the serial results exactly — the speedup line then
 // reports ~1x and the binary says so rather than failing.
 //
-//   engine_throughput [--full] [--threads N] [--workloads K]
-#include <chrono>
+//   engine_throughput [--full] [--threads N] [--workloads K] [--json]
+//
+// With --json the machine-readable report (bench_util.hpp JsonReport
+// shape) goes to stdout and the human-readable output to stderr.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,14 +29,9 @@
 namespace {
 
 using namespace xoridx;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Run the campaign once, capturing the streamed CSV for the identity
-/// check. Returns elapsed wall-clock seconds.
+/// check. Returns elapsed wall-clock milliseconds.
 double run_once(engine::Campaign& campaign, unsigned threads,
                 std::string* csv_out) {
   std::ostringstream os;
@@ -41,9 +39,9 @@ double run_once(engine::Campaign& campaign, unsigned threads,
   engine::CampaignOptions options;
   options.num_threads = threads;
   options.sink = &sink;
-  const Clock::time_point start = Clock::now();
+  const bench::StopWatch watch;
   campaign.run(options);
-  const double elapsed = seconds_since(start);
+  const double elapsed = watch.ms();
   *csv_out = os.str();
   return elapsed;
 }
@@ -72,10 +70,12 @@ engine::SweepSpec make_spec(workloads::Scale scale, std::size_t num_workloads) {
 
 int main(int argc, char** argv) {
   bool full = false;
+  bool json = false;
   unsigned threads = 0;
   std::size_t num_workloads = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
       threads = bench::parse_threads(argv[++i]);
     if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc) {
@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
     }
   }
   if (threads == 0) threads = engine::ThreadPool::default_threads();
+  std::FILE* out = json ? stderr : stdout;
   const workloads::Scale scale =
       full ? workloads::Scale::full : workloads::Scale::small;
 
@@ -91,25 +92,46 @@ int main(int argc, char** argv) {
   // the other's warm profile cache.
   engine::Campaign serial(make_spec(scale, num_workloads));
   engine::Campaign parallel(make_spec(scale, num_workloads));
-  std::printf("engine throughput: %zu jobs (%zu workloads x %zu geometries "
+  std::fprintf(out,
+              "engine throughput: %zu jobs (%zu workloads x %zu geometries "
               "x %zu configs), %s traces\n",
               serial.jobs().size(), serial.spec().traces.size(),
               serial.spec().geometries.size(), serial.spec().configs.size(),
               full ? "full" : "small");
-  std::printf("hardware threads: %u, parallel run uses %u\n\n",
-              engine::ThreadPool::default_threads(), threads);
+  std::fprintf(out, "hardware threads: %u, parallel run uses %u\n\n",
+               engine::ThreadPool::default_threads(), threads);
 
   std::string serial_csv;
   std::string parallel_csv;
-  const double serial_s = run_once(serial, 1, &serial_csv);
-  const double parallel_s = run_once(parallel, threads, &parallel_csv);
+  const double serial_ms = run_once(serial, 1, &serial_csv);
+  const double parallel_ms = run_once(parallel, threads, &parallel_csv);
 
   const bool identical = serial_csv == parallel_csv;
-  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
-  std::printf("serial   (1 thread)   %8.3f s\n", serial_s);
-  std::printf("parallel (%2u threads) %8.3f s\n", threads, parallel_s);
-  std::printf("speedup              %8.2fx\n", speedup);
-  std::printf("results identical:   %s\n", identical ? "yes" : "NO");
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+  std::fprintf(out, "serial   (1 thread)   %8.3f s\n", serial_ms / 1000.0);
+  std::fprintf(out, "parallel (%2u threads) %8.3f s\n", threads,
+               parallel_ms / 1000.0);
+  std::fprintf(out, "speedup              %8.2fx\n", speedup);
+  std::fprintf(out, "results identical:   %s\n", identical ? "yes" : "NO");
+
+  if (json) {
+    bench::JsonReport report("engine_throughput");
+    report.row("campaign")
+        .num("jobs", static_cast<std::uint64_t>(serial.jobs().size()))
+        .num("workloads",
+             static_cast<std::uint64_t>(serial.spec().traces.size()))
+        .str("scale", full ? "full" : "small")
+        .num("threads", static_cast<std::uint64_t>(threads))
+        .num("hardware_threads", static_cast<std::uint64_t>(
+                                     engine::ThreadPool::default_threads()))
+        .num("serial_wall_ms", serial_ms)
+        .num("wall_ms", parallel_ms)
+        .num("jobs_per_s",
+             bench::per_second(serial.jobs().size(), parallel_ms))
+        .num("speedup", speedup)
+        .boolean("identical", identical);
+    report.write(std::cout);
+  }
 
   if (!identical) {
     std::fprintf(stderr,
@@ -117,12 +139,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (engine::ThreadPool::default_threads() < 2) {
-    std::printf(
-        "\nnote: single hardware thread — no parallel speedup is possible "
-        "on this host;\nrun on a multi-core machine to see >= 2x.\n");
+    std::fprintf(out,
+                 "\nnote: single hardware thread — no parallel speedup is "
+                 "possible on this host;\nrun on a multi-core machine to see "
+                 ">= 2x.\n");
     return 0;
   }
   if (speedup < 2.0)
-    std::printf("\nwarning: speedup below the 2x acceptance bar.\n");
+    std::fprintf(out, "\nwarning: speedup below the 2x acceptance bar.\n");
   return 0;
 }

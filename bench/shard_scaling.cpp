@@ -5,11 +5,16 @@
 // to the unsharded run, so the bench doubles as an end-to-end identity
 // smoke over plan -> run -> merge.
 //
-//   shard_scaling [--full] [--workloads K] [--shards N,N,...]
+//   shard_scaling [--full] [--workloads K] [--shards N,N,...] [--json]
+//
+// With --json the machine-readable report (bench_util.hpp JsonReport
+// shape, one row per shard count) goes to stdout and the human-readable
+// table to stderr.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,10 +53,12 @@ api::ExplorationRequest make_request(workloads::Scale scale,
 
 int main(int argc, char** argv) {
   bool full = false;
+  bool json = false;
   std::size_t num_workloads = 10;
   std::vector<std::uint32_t> shard_counts = {1, 2, 3, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc) {
       const int v = std::atoi(argv[++i]);
       if (v > 0) num_workloads = static_cast<std::size_t>(v);
@@ -65,9 +72,11 @@ int main(int argc, char** argv) {
           shard_counts.push_back(static_cast<std::uint32_t>(v));
     }
   }
+  std::FILE* out = json ? stderr : stdout;
   const workloads::Scale scale =
       full ? workloads::Scale::full : workloads::Scale::small;
   const api::ExplorationRequest request = make_request(scale, num_workloads);
+  bench::JsonReport report("shard_scaling");
 
   const Clock::time_point full_start = Clock::now();
   const api::Result<shard::Report> unsharded = shard::run_campaign(request);
@@ -79,14 +88,15 @@ int main(int argc, char** argv) {
   }
   std::ostringstream full_csv;
   unsharded->write_csv(full_csv);
-  std::printf("shard scaling: %llu cells (%zu traces x %zu geometries x %zu "
+  std::fprintf(out,
+              "shard scaling: %llu cells (%zu traces x %zu geometries x %zu "
               "strategies), %s traces\n",
               static_cast<unsigned long long>(unsharded->total_cells),
               request.traces.size(), request.geometries.size(),
               request.strategies.size(), full ? "full" : "small");
-  std::printf("unsharded run: %.3f s\n\n", full_s);
-  std::printf("%7s %12s %12s %12s %10s %9s\n", "shards", "critical(s)",
-              "sum(s)", "cost max/avg", "cells max", "identical");
+  std::fprintf(out, "unsharded run: %.3f s\n\n", full_s);
+  std::fprintf(out, "%7s %12s %12s %12s %10s %9s\n", "shards", "critical(s)",
+               "sum(s)", "cost max/avg", "cells max", "identical");
 
   for (const std::uint32_t n : shard_counts) {
     const api::Result<shard::ShardPlan> plan =
@@ -129,10 +139,21 @@ int main(int argc, char** argv) {
     merged->write_csv(merged_csv);
     const bool identical = merged_csv.str() == full_csv.str();
     const double cost_avg = cost_sum / static_cast<double>(n);
-    std::printf("%7u %12.3f %12.3f %12.2f %10llu %9s\n", n, critical, sum,
-                cost_avg > 0 ? cost_max / cost_avg : 0.0,
-                static_cast<unsigned long long>(cells_max),
-                identical ? "yes" : "NO");
+    std::fprintf(out, "%7u %12.3f %12.3f %12.2f %10llu %9s\n", n, critical,
+                 sum, cost_avg > 0 ? cost_max / cost_avg : 0.0,
+                 static_cast<unsigned long long>(cells_max),
+                 identical ? "yes" : "NO");
+    report.row("shards")
+        .num("shards", static_cast<std::uint64_t>(n))
+        .num("cells", unsharded->total_cells)
+        .num("unsharded_wall_ms", 1000.0 * full_s)
+        .num("wall_ms", 1000.0 * critical)
+        .num("sum_wall_ms", 1000.0 * sum)
+        .num("cells_per_s", bench::per_second(unsharded->total_cells,
+                                              1000.0 * critical))
+        .num("cost_imbalance", cost_avg > 0 ? cost_max / cost_avg : 0.0)
+        .num("speedup", critical > 0 ? full_s / critical : 0.0)
+        .boolean("identical", identical);
     if (!identical) {
       std::fprintf(stderr,
                    "FAIL: merged %u-shard CSV diverged from the unsharded "
@@ -141,7 +162,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::printf("\ncritical(s) is the slowest shard — the wall-clock an "
-              "N-process run would take.\n");
+  std::fprintf(out, "\ncritical(s) is the slowest shard — the wall-clock an "
+               "N-process run would take.\n");
+  if (json) report.write(std::cout);
   return 0;
 }

@@ -207,6 +207,7 @@ Result<TuneOutcome> tune(const TraceRef& trace, const GeometrySpec& geometry,
   options.search.max_fan_in = search_job->max_fan_in;
   options.search.random_restarts = search_job->random_restarts;
   options.search.seed = search_job->seed;
+  options.search.threads = search_job->threads;
   options.revert_if_worse = search_job->revert_if_worse;
   try {
     const profile::ConflictProfile prof =

@@ -13,6 +13,7 @@ struct SpecOptions {
   std::optional<int> fanin;
   std::optional<int> restarts;
   std::optional<std::uint64_t> seed;
+  std::optional<int> threads;
   bool revert = false;
   bool exact = false;
   bool estimated = false;
@@ -62,6 +63,16 @@ Result<SpecOptions> parse_options(std::string_view spec,
         return bad_spec(spec, "restart count '" + std::string(token) +
                                   "' must be a non-negative integer");
       out.restarts = value;
+    } else if (token.rfind("threads=", 0) == 0) {
+      const std::string_view digits = token.substr(8);
+      int value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (!all_digits(digits) || ec != std::errc{} || value < 0)
+        return bad_spec(spec, "thread count '" + std::string(token) +
+                                  "' must be a non-negative integer "
+                                  "(0 = one per hardware thread)");
+      out.threads = value;
     } else if (token.rfind("seed=", 0) == 0) {
       const std::string_view digits = token.substr(5);
       std::uint64_t value = 0;
@@ -103,9 +114,9 @@ Status reject_option(std::string_view spec, std::string_view name,
   if ((o.exact || o.estimated) && !allow_mode)
     return bad_spec(spec, "strategy '" + std::string(name) +
                               "' takes no 'exact'/'est' option");
-  if ((o.restarts || o.seed) && !allow_restarts)
+  if ((o.restarts || o.seed || o.threads) && !allow_restarts)
     return bad_spec(spec, "strategy '" + std::string(name) +
-                              "' takes no 'restarts'/'seed' option");
+                              "' takes no 'restarts'/'seed'/'threads' option");
   return {};
 }
 
@@ -179,6 +190,7 @@ Result<Strategy> parse_strategy(std::string_view spec) {
   const int restarts = options.restarts.value_or(0);
   const std::uint64_t seed =
       options.seed.value_or(search::SearchOptions{}.seed);
+  const int threads = options.threads.value_or(1);
 
   // Legacy aliases map onto the canonical names first.
   if (name == "classify") name = "3c";
@@ -214,14 +226,14 @@ Result<Strategy> parse_strategy(std::string_view spec) {
       return s;
     out.config = engine::FunctionConfig::optimize(
         out.label, search::FunctionClass::permutation, fanin, options.revert,
-        restarts, seed);
+        restarts, seed, threads);
   } else if (name == "xor") {
     if (Status s = reject_option(spec, name, options, true, true, false, true);
         !s.ok())
       return s;
     out.config = engine::FunctionConfig::optimize(
         out.label, search::FunctionClass::general_xor, fanin, options.revert,
-        restarts, seed);
+        restarts, seed, threads);
   } else if (name == "bitselect") {
     if (options.exact && options.estimated)
       return bad_spec(spec, "'exact' and 'est' are mutually exclusive");
@@ -238,7 +250,8 @@ Result<Strategy> parse_strategy(std::string_view spec) {
         return s;
       out.config = engine::FunctionConfig::optimize(
           out.label, search::FunctionClass::bit_select,
-          search::SearchOptions::unlimited, options.revert, restarts, seed);
+          search::SearchOptions::unlimited, options.revert, restarts, seed,
+          threads);
     }
   } else {
     return Status(StatusCode::parse_error,
@@ -274,11 +287,12 @@ const std::vector<StrategyInfo>& strategy_registry() {
       {"base", "", "conventional modulo index (exact simulation)"},
       {"fa", "", "equal-capacity fully-associative LRU bound"},
       {"3c", "", "3C miss breakdown under the conventional index"},
-      {"perm", "[:fanin=N][:revert][:restarts=N][:seed=S]",
+      {"perm", "[:fanin=N][:revert][:restarts=N][:seed=S][:threads=K]",
        "permutation-based XOR search (paper Section 4)"},
-      {"xor", "[:fanin=N][:revert][:restarts=N][:seed=S]",
+      {"xor", "[:fanin=N][:revert][:restarts=N][:seed=S][:threads=K]",
        "general XOR search (null-space search)"},
-      {"bitselect", "[:revert][:restarts=N][:seed=S] | [:exact|:est]",
+      {"bitselect",
+       "[:revert][:restarts=N][:seed=S][:threads=K] | [:exact|:est]",
        "bit-selecting search; ':exact'/':est' run the exhaustive "
        "optimal bit-select instead (which takes no other options)"},
   };

@@ -19,16 +19,28 @@
 //   3c          —                            3C miss breakdown (alias:
 //                                            classify)
 //   perm        fanin=N, revert, N,          permutation-based XOR search
-//               restarts=N, seed=S           (alias: permutation)
+//               restarts=N, seed=S,          (alias: permutation)
+//               threads=K
 //   xor         fanin=N, revert,             general XOR search (alias:
-//               restarts=N, seed=S           general)
-//   bitselect   revert, restarts=N, seed=S   heuristic 1-in search
+//               restarts=N, seed=S,          general)
+//               threads=K
+//   bitselect   revert, restarts=N, seed=S,  heuristic 1-in search
+//               threads=K
 //   bitselect   exact | est                  exhaustive optimal bit-select
 //                                            (aliases: opt, opt-est)
 //
 // The hill-climbing strategies take "restarts=N" (seeded random starting
 // points beyond the conventional index) and "seed=S"; results stay a
 // deterministic function of the spec, which campaign sharding relies on.
+// "threads=K" splits the neighborhood scans inside one search across K
+// workers (0 = one per hardware thread) — a pure wall-clock knob: the
+// chosen function, estimates and stats are bit-identical for every K.
+// Each optimize cell spawns its own K-worker pool, so inside a parallel
+// campaign the thread counts multiply — pair threads=K with a reduced
+// engine --threads (or a sharded run) rather than stacking both at full
+// width. bitselect accepts the option for grammar uniformity but its
+// scan stays serial: zeta-view candidates are O(1), far too cheap to
+// amortize a pool dispatch.
 //
 // Examples: "base", "perm:fanin=2", "perm:2", "xor:fanin=4:revert",
 // "perm:restarts=4:seed=7", "bitselect:exact", "3c". A strategy's label

@@ -30,10 +30,10 @@ FunctionConfig FunctionConfig::optimize(std::string label,
                                         search::FunctionClass function_class,
                                         int max_fan_in, bool revert_if_worse,
                                         int random_restarts,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed, int threads) {
   return {std::move(label),
           OptimizeIndexJob{function_class, max_fan_in, revert_if_worse,
-                           random_restarts, seed}};
+                           random_restarts, seed, threads}};
 }
 
 FunctionConfig FunctionConfig::optimal_bit_select(std::string label,
@@ -262,6 +262,7 @@ JobResult Campaign::execute(const Job& job) {
       options.search.max_fan_in = j.max_fan_in;
       options.search.random_restarts = j.random_restarts;
       options.search.seed = j.seed;
+      options.search.threads = j.threads;
       options.revert_if_worse = j.revert_if_worse;
       // The conventional-index run is memoized per (trace, geometry);
       // passing it in saves every optimize job a full-trace simulation

@@ -68,12 +68,14 @@ struct FunctionConfig {
       std::string label = "fa");
   /// Profile-guided search of one function class / fan-in limit.
   /// `random_restarts` > 0 adds seeded restarts beyond the conventional
-  /// starting point (deterministic for a fixed seed).
+  /// starting point (deterministic for a fixed seed); `threads` splits
+  /// the neighborhood scans inside the search (bit-identical results for
+  /// every value, see OptimizeIndexJob::threads).
   [[nodiscard]] static FunctionConfig optimize(
       std::string label, search::FunctionClass function_class,
       int max_fan_in = search::SearchOptions::unlimited,
       bool revert_if_worse = false, int random_restarts = 0,
-      std::uint64_t seed = search::SearchOptions{}.seed);
+      std::uint64_t seed = search::SearchOptions{}.seed, int threads = 1);
   /// Exhaustive bit-selecting search (exact, or estimator-guided).
   [[nodiscard]] static FunctionConfig optimal_bit_select(
       std::string label = "opt", bool use_estimator = false);

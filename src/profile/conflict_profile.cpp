@@ -19,6 +19,116 @@ ConflictProfile::ConflictProfile(int hashed_bits,
         "hashed_bits must be in [1, 24] for the dense table");
 }
 
+namespace {
+
+/// Copy the value state (table + bookkeeping) of `from` into `to`. The
+/// zeta cache is deliberately not part of the value: each object owns a
+/// private lazily-rebuilt one.
+void assign_value_state(ConflictProfile& to, const ConflictProfile& from) {
+  to.references = from.references;
+  to.compulsory_refs = from.compulsory_refs;
+  to.capacity_filtered_refs = from.capacity_filtered_refs;
+  to.profiled_refs = from.profiled_refs;
+  to.pair_count = from.pair_count;
+}
+
+}  // namespace
+
+ConflictProfile::ConflictProfile(const ConflictProfile& other)
+    : n_(other.n_),
+      capacity_blocks_(other.capacity_blocks_),
+      table_(other.table_) {
+  assign_value_state(*this, other);
+}
+
+ConflictProfile& ConflictProfile::operator=(const ConflictProfile& other) {
+  if (this == &other) return *this;
+  n_ = other.n_;
+  capacity_blocks_ = other.capacity_blocks_;
+  table_ = other.table_;
+  assign_value_state(*this, other);
+  zeta_ = std::make_unique<ZetaCache>();
+  return *this;
+}
+
+ConflictProfile::ConflictProfile(ConflictProfile&& other) noexcept
+    : n_(other.n_),
+      capacity_blocks_(other.capacity_blocks_),
+      table_(std::move(other.table_)),
+      zeta_(std::move(other.zeta_)) {
+  assign_value_state(*this, other);
+}
+
+ConflictProfile& ConflictProfile::operator=(ConflictProfile&& other) noexcept {
+  if (this == &other) return *this;
+  n_ = other.n_;
+  capacity_blocks_ = other.capacity_blocks_;
+  table_ = std::move(other.table_);
+  assign_value_state(*this, other);
+  zeta_ = std::move(other.zeta_);
+  return *this;
+}
+
+const std::vector<std::uint64_t>& ConflictProfile::subset_sums() const {
+  std::call_once(zeta_->once, [this] {
+    // Standard subset-sum DP: after processing bit b, z[u] holds the sum
+    // of table entries over all v that match u on bits > b and are
+    // submasks of u on bits <= b — n * 2^n adds in total. The build is
+    // the whole cold cost of the O(1) bit-select estimator, so the low
+    // three bit levels are fused into one in-register pass over blocks of
+    // eight, and the remaining levels stream disjoint halves the
+    // compiler can vectorize.
+    std::vector<std::uint64_t> z = table_;
+    const std::size_t size = z.size();
+    std::uint64_t* const zp = z.data();
+    int bit = 0;
+    if (n_ >= 3) {
+      for (std::size_t b = 0; b < size; b += 8) {
+        std::uint64_t a0 = zp[b], a1 = zp[b + 1], a2 = zp[b + 2],
+                      a3 = zp[b + 3], a4 = zp[b + 4], a5 = zp[b + 5],
+                      a6 = zp[b + 6], a7 = zp[b + 7];
+        a1 += a0; a3 += a2; a5 += a4; a7 += a6;  // bit 0
+        a2 += a0; a3 += a1; a6 += a4; a7 += a5;  // bit 1
+        a4 += a0; a5 += a1; a6 += a2; a7 += a3;  // bit 2
+        zp[b + 1] = a1; zp[b + 2] = a2; zp[b + 3] = a3; zp[b + 4] = a4;
+        zp[b + 5] = a5; zp[b + 6] = a6; zp[b + 7] = a7;
+      }
+      bit = 3;
+    }
+    // Remaining levels two at a time: quarters q0..q3 of a 4*stride
+    // block combine as q1+=q0, q2+=q0, q3+=q0+q1+q2 — one fused pass
+    // with half the loads and stores of two single-level passes.
+    for (; bit + 1 < n_; bit += 2) {
+      const std::size_t stride = std::size_t{1} << bit;
+      for (std::size_t block = 0; block < size; block += 4 * stride) {
+        const std::uint64_t* __restrict q0 = zp + block;
+        std::uint64_t* __restrict q1 = zp + block + stride;
+        std::uint64_t* __restrict q2 = zp + block + 2 * stride;
+        std::uint64_t* __restrict q3 = zp + block + 3 * stride;
+        for (std::size_t i = 0; i < stride; ++i) {
+          const std::uint64_t v0 = q0[i];
+          const std::uint64_t v1 = q1[i] + v0;
+          q1[i] = v1;
+          const std::uint64_t v2 = q2[i];
+          q2[i] = v2 + v0;
+          q3[i] += v2 + v1;
+        }
+      }
+    }
+    if (bit < n_) {
+      const std::size_t stride = std::size_t{1} << bit;
+      for (std::size_t block = 0; block < size; block += 2 * stride) {
+        const std::uint64_t* __restrict lo = zp + block;
+        std::uint64_t* __restrict hi = zp + block + stride;
+        for (std::size_t i = 0; i < stride; ++i) hi[i] += lo[i];
+      }
+    }
+    zeta_->table = std::move(z);
+    zeta_->built.store(true, std::memory_order_release);
+  });
+  return zeta_->table;
+}
+
 std::uint64_t ConflictProfile::estimate_misses(
     const gf2::Subspace& ns) const {
   if (ns.ambient_dim() != n_)

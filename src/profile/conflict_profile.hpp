@@ -9,7 +9,11 @@
 // blocks) are filtered out, as neither is solvable by re-indexing.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cache/geometry.hpp"
@@ -28,6 +32,16 @@ class ConflictProfile {
   /// `hashed_bits` is the paper's n; the dense table holds 2^n counters.
   explicit ConflictProfile(int hashed_bits, std::uint32_t capacity_blocks);
 
+  // Copies get a fresh (empty) subset-sum cache; a move hands the cache
+  // over and leaves the moved-from object fit only for destruction or
+  // reassignment. The counter table and bookkeeping copy and move as
+  // values.
+  ConflictProfile(const ConflictProfile& other);
+  ConflictProfile& operator=(const ConflictProfile& other);
+  ConflictProfile(ConflictProfile&& other) noexcept;
+  ConflictProfile& operator=(ConflictProfile&& other) noexcept;
+  ~ConflictProfile() = default;
+
   [[nodiscard]] int hashed_bits() const noexcept { return n_; }
   [[nodiscard]] std::uint32_t capacity_blocks() const noexcept {
     return capacity_blocks_;
@@ -39,8 +53,24 @@ class ConflictProfile {
   }
 
   void add(gf2::Word v, std::uint64_t count = 1) {
+    // The subset-sum view snapshots the table at first use; mutating the
+    // table afterwards would silently desynchronize every bit-select
+    // kernel reading the view. Profiles are write-once (Figure 1 pass)
+    // then read-only, so this is a contract assertion, not a runtime path.
+    assert(!zeta_ || !zeta_->built.load(std::memory_order_relaxed));
     table_[static_cast<std::size_t>(v)] += count;
   }
+
+  /// Lazily-built subset-sum (SOS / zeta transform) view of the table:
+  /// subset_sums()[u] is the sum of misses(v) over every submask v of u —
+  /// exactly Eq. 4 for the bit-selecting function whose *unselected*
+  /// positions are the set bits of u. Built once per profile at n * 2^n
+  /// cost (one pass per bit over a 2^n table, ~0.5 MB for n = 16) on
+  /// first call; afterwards every bit-select candidate, including the
+  /// exhaustive C(n, m) sweep, answers in O(1). Thread-safe: concurrent
+  /// first calls build exactly once (the profile is shared read-only
+  /// across engine workers via ProfileCache).
+  [[nodiscard]] const std::vector<std::uint64_t>& subset_sums() const;
 
   /// Eq. 4: estimated conflict misses of the hash function whose null
   /// space is `ns` — the sum of misses(v) over all members v of ns
@@ -73,9 +103,19 @@ class ConflictProfile {
   }
 
  private:
+  /// Lazy zeta-transform cache. Lives behind a unique_ptr because
+  /// once_flag is neither copyable nor movable; copy/move of the profile
+  /// re-arm a fresh cache instead (see the special members above).
+  struct ZetaCache {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    std::vector<std::uint64_t> table;
+  };
+
   int n_;
   std::uint32_t capacity_blocks_;
   std::vector<std::uint64_t> table_;
+  mutable std::unique_ptr<ZetaCache> zeta_ = std::make_unique<ZetaCache>();
 };
 
 /// Run Figure 1 over a trace: push compulsory references, skip references

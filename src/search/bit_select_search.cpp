@@ -23,9 +23,14 @@ struct ClimbOutcome {
 ClimbOutcome climb(const profile::ConflictProfile& profile, Word selected,
                    int n, int max_iterations) {
   const Word all = gf2::mask_of(n);
+  // Every candidate is one O(1) lookup in the profile's zeta view (the
+  // first search on a profile pays the lazy n * 2^n build); the n^2-sized
+  // drop/add neighborhood is far too cheap afterwards to amortize a
+  // thread-pool dispatch, so this scan stays serial for every
+  // SearchOptions::threads value — trivially thread-count-identical.
   ClimbOutcome out;
   out.selected = selected;
-  out.estimate = estimate_misses_submasks(profile, all & ~selected);
+  out.estimate = estimate_misses_bit_select(profile, all & ~selected);
   out.evaluations = 1;
 
   for (int iter = 0; iter < max_iterations; ++iter) {
@@ -38,7 +43,7 @@ ClimbOutcome climb(const profile::ConflictProfile& profile, Word selected,
         const Word candidate =
             (out.selected ^ gf2::unit(drop)) | gf2::unit(add);
         const std::uint64_t est =
-            estimate_misses_submasks(profile, all & ~candidate);
+            estimate_misses_bit_select(profile, all & ~candidate);
         ++out.evaluations;
         if (est < best) {
           best = est;
@@ -89,7 +94,7 @@ BitSelectSearchResult search_bit_select(
   stats.evaluations = best.evaluations;
   stats.iterations = best.iterations;
   stats.start_estimate =
-      estimate_misses_submasks(profile, gf2::mask_of(n) & ~conventional);
+      estimate_misses_bit_select(profile, gf2::mask_of(n) & ~conventional);
 
   std::mt19937_64 rng(options.seed);
   for (int r = 0; r < options.random_restarts; ++r) {

@@ -1,5 +1,7 @@
 #include "search/estimator.hpp"
 
+#include <bit>
+
 namespace xoridx::search {
 
 std::uint64_t estimate_misses_basis(const profile::ConflictProfile& profile,
@@ -26,6 +28,50 @@ std::uint64_t estimate_misses_submasks(const profile::ConflictProfile& profile,
     v = (v - 1) & unselected_mask;
   }
   return total;
+}
+
+std::uint64_t coset_sum(const profile::ConflictProfile& profile,
+                        std::span<const gf2::Word> basis, gf2::Word w) {
+  std::uint64_t total = profile.misses(w);
+  gf2::Word v = w;
+  const std::size_t count = std::size_t{1} << basis.size();
+  for (std::size_t i = 1; i < count; ++i) {
+    v ^= basis[static_cast<std::size_t>(std::countr_zero(i))];
+    total += profile.misses(v);
+  }
+  return total;
+}
+
+void coset_sums(const profile::ConflictProfile& profile,
+                std::span<const gf2::Word> basis, std::span<const gf2::Word> ws,
+                std::span<std::uint64_t> out) {
+  gf2::Word v = 0;
+  const std::size_t count = std::size_t{1} << basis.size();
+  for (std::size_t i = 0;;) {
+    for (std::size_t k = 0; k < ws.size(); ++k) out[k] += profile.misses(v ^ ws[k]);
+    if (++i >= count) break;
+    v ^= basis[static_cast<std::size_t>(std::countr_zero(i))];
+  }
+}
+
+std::uint64_t estimate_misses_swap(const profile::ConflictProfile& profile,
+                                   std::span<const gf2::Word> rest,
+                                   gf2::Word old_vec, gf2::Word new_vec,
+                                   std::uint64_t old_estimate) {
+  // One Gray pass over span(rest), two accumulators: subtract the old
+  // coset, add the new one. Exact integer identity with a from-scratch
+  // re-enumeration — the winner selection downstream depends on it.
+  std::uint64_t removed = 0;
+  std::uint64_t added = 0;
+  gf2::Word v = 0;
+  const std::size_t count = std::size_t{1} << rest.size();
+  for (std::size_t i = 0;;) {
+    removed += profile.misses(v ^ old_vec);
+    added += profile.misses(v ^ new_vec);
+    if (++i >= count) break;
+    v ^= rest[static_cast<std::size_t>(std::countr_zero(i))];
+  }
+  return old_estimate - removed + added;
 }
 
 }  // namespace xoridx::search

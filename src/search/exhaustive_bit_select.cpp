@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cache/simulate.hpp"
+#include "gf2/enumerate.hpp"
 #include "search/estimator.hpp"
 #include "tracestore/trace_source.hpp"
 
@@ -84,20 +85,7 @@ std::uint64_t simulate_selection(std::span<const std::uint64_t> blocks,
   return misses;
 }
 
-/// Visit every m-bit submask of the low n bits (Gosper's hack).
-template <typename F>
-void for_each_combination(int n, int m, F&& visit) {
-  assert(m >= 1 && m <= n);
-  const std::uint32_t limit = 1u << n;
-  std::uint32_t mask = (1u << m) - 1;
-  while (mask < limit) {
-    visit(mask);
-    const std::uint32_t c = mask & (~mask + 1);
-    const std::uint32_t r = mask + c;
-    if (r >= limit || r == 0) break;
-    mask = (((r ^ mask) >> 2) / c) | r;
-  }
-}
+using gf2::for_each_combination;
 
 }  // namespace
 
@@ -149,9 +137,12 @@ std::pair<hash::BitSelectFunction, std::uint64_t> pick_estimated(
   std::uint32_t best_mask = (1u << m) - 1;
   std::uint64_t candidates = 0;
   const Word all = gf2::mask_of(n);
+  // One O(1) zeta-view lookup per candidate instead of a 2^(n-m) submask
+  // walk; the lazily-built view is shared with every other bit-select
+  // kernel on this profile (the heuristic climber, other index widths).
   for_each_combination(n, m, [&](std::uint32_t mask) {
     const std::uint64_t est =
-        estimate_misses_submasks(profile, all & ~static_cast<Word>(mask));
+        estimate_misses_bit_select(profile, all & ~static_cast<Word>(mask));
     ++candidates;
     if (est < best_estimate) {
       best_estimate = est;

@@ -25,14 +25,35 @@ ExhaustiveXorResult optimal_xor_estimated(
   std::uint64_t best = ~std::uint64_t{0};
   std::vector<gf2::Word> best_basis;
   std::uint64_t candidates = 0;
-  gf2::for_each_subspace(n, d, [&](std::span<const gf2::Word> basis) {
-    const std::uint64_t est = estimate_misses_basis(profile, basis);
+  // The enumeration changes one basis vector per step (Gray code over the
+  // free bits of a pivot set), so the running estimate re-prices as a
+  // one-vector swap over the unchanged d-1 dimensional core — one fused
+  // Gray pass of 2^(d-1) steps instead of a fresh 2^d enumeration. Only a
+  // new pivot set (a rank-structure change) pays the full evaluation.
+  std::uint64_t current = 0;
+  std::vector<gf2::Word> rest(static_cast<std::size_t>(d > 0 ? d - 1 : 0));
+  const auto consider = [&](std::span<const gf2::Word> basis) {
     ++candidates;
-    if (est < best) {
-      best = est;
+    if (current < best) {
+      best = current;
       best_basis.assign(basis.begin(), basis.end());
     }
-  });
+  };
+  gf2::for_each_subspace_delta(
+      n, d,
+      [&](std::span<const gf2::Word> basis) {
+        current = estimate_misses_basis(profile, basis);
+        consider(basis);
+      },
+      [&](std::span<const gf2::Word> basis, int changed, gf2::Word old_value) {
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < basis.size(); ++i)
+          if (i != static_cast<std::size_t>(changed)) rest[k++] = basis[i];
+        current = estimate_misses_swap(profile, rest, old_value,
+                                       basis[static_cast<std::size_t>(changed)],
+                                       current);
+        consider(basis);
+      });
 
   const gf2::Subspace ns = gf2::Subspace::span_of(n, best_basis);
   ExhaustiveXorResult result{hash::XorFunction::from_null_space(ns), best,

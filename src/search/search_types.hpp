@@ -33,13 +33,32 @@ struct SearchOptions {
   /// full neighborhood; convergence is typically < 30 iterations).
   int max_iterations = 1000;
 
+  /// Worker threads for the neighborhood scan inside one search
+  /// (intra-search parallelism). 1 = serial on the calling thread
+  /// (default), 0 = one worker per hardware thread, K > 1 = K workers on
+  /// a private engine::ThreadPool. The chosen function, every estimate
+  /// and the full SearchStats are bit-identical for every value: chunks
+  /// carry the serial scan rank of their local winner and the reduction
+  /// picks the (estimate, rank)-lexicographic minimum — exactly the
+  /// candidate the serial first-strict-improvement scan selects.
+  int threads = 1;
+
   static constexpr int unlimited = std::numeric_limits<int>::max();
 };
 
 /// Bookkeeping of one hill-climbing run.
 struct SearchStats {
-  std::uint64_t evaluations = 0;  ///< candidate functions estimated
-  int iterations = 0;             ///< accepted steepest-descent moves
+  /// Candidate functions *considered*: the starting point of each climb
+  /// counts once, and every neighborhood candidate that passes its
+  /// structural gate (e.g. the fan-in cap) counts once — whether it was
+  /// priced by full null-space enumeration, by an O(1) zeta lookup, or
+  /// incrementally as a coset delta. Shared subexpressions (the zeta
+  /// build, a per-row core estimate) never count. This convention is
+  /// asserted inside the searches and keeps evaluation counts comparable
+  /// across serial/parallel runs, shard boundaries and pre-kernel-rewrite
+  /// reports.
+  std::uint64_t evaluations = 0;
+  int iterations = 0;  ///< accepted steepest-descent moves
   int restarts_used = 0;
   std::uint64_t start_estimate = 0;
   std::uint64_t best_estimate = 0;

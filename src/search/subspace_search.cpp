@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "search/estimator.hpp"
+#include "search/parallel_scan.hpp"
 
 namespace xoridx::search {
 
@@ -20,9 +21,21 @@ struct ClimbOutcome {
   int iterations = 0;
 };
 
+/// Per-chunk outcome of one neighborhood scan over a range of hyperplane
+/// selectors alpha.
+struct AlphaScan {
+  ScanBest best;
+  std::vector<Word> winner;  ///< basis of the winning candidate subspace
+  std::uint64_t evaluations = 0;
+};
+
+/// Candidates per hyperplane: new direction w = c (+ optionally k0) over
+/// the nonzero complement members, two epsilon variants each.
+constexpr std::size_t coset_batch = 16;
+
 /// One steepest-descent run from `start`.
 ClimbOutcome climb(const profile::ConflictProfile& profile, Subspace start,
-                   int max_iterations) {
+                   int max_iterations, engine::ThreadPool* pool) {
   const int n = profile.hashed_bits();
   const int d = start.dim();
 
@@ -30,53 +43,108 @@ ClimbOutcome climb(const profile::ConflictProfile& profile, Subspace start,
   out.estimate = estimate_misses_basis(profile, out.space.basis());
   out.evaluations = 1;
 
-  std::vector<Word> candidate(static_cast<std::size_t>(d));
-
+  std::vector<AlphaScan> chunks;
   for (int iter = 0; iter < max_iterations; ++iter) {
     const std::vector<Word>& basis = out.space.basis();
     const std::vector<Word> comp = out.space.complement_basis();
     assert(static_cast<int>(comp.size()) == n - d);
+    const std::size_t comp_count = std::size_t{1} << comp.size();
+    // Serial candidate order: alpha ascending, then the Gray-code walk
+    // over nonzero complement members, epsilon innermost.
+    const std::ptrdiff_t per_alpha =
+        2 * (static_cast<std::ptrdiff_t>(comp_count) - 1);
 
-    std::uint64_t best = out.estimate;
-    std::vector<Word> best_basis;
+    // Every candidate of one hyperplane alpha shares the d-1 dimensional
+    // core U = ker(alpha): price estimate(U) once, then each new
+    // direction w is one coset sum over U's 2^(d-1) members (batched over
+    // a single Gray-code enumeration) instead of a 2^d re-enumeration.
+    scan_chunks(pool, (std::size_t{1} << d) - 1, chunks,
+                [&](std::size_t chunk, std::size_t alpha_begin,
+                    std::size_t alpha_end) {
+      AlphaScan& local = chunks[chunk];
+      local.best.estimate = out.estimate;
+      std::vector<Word> core(static_cast<std::size_t>(d > 0 ? d - 1 : 0));
+      std::vector<Word> ws;
+      std::vector<std::ptrdiff_t> ranks;
+      std::vector<std::uint64_t> sums;
+      std::uint64_t core_estimate = 0;
 
-    // Hyperplane selector α over the current basis coordinates.
-    for (Word alpha = 1; alpha < (Word{1} << d); ++alpha) {
-      // Pivot basis vector outside the hyperplane U = ker(α).
-      const int j = std::countr_zero(alpha);
-      const Word k0 = basis[static_cast<std::size_t>(j)];
-      // Basis of U in candidate[0..d-2]: untouched basis vectors where
-      // α_i = 0, and b_i ⊕ b_j where α_i = 1 (i != j).
-      int u_count = 0;
-      for (int i = 0; i < d; ++i) {
-        if (i == j) continue;
-        const Word b = basis[static_cast<std::size_t>(i)];
-        candidate[static_cast<std::size_t>(u_count++)] =
-            gf2::get_bit(alpha, i) ? (b ^ k0) : b;
-      }
-      // New direction w = c ⊕ ε·k0 over nonzero complement members c.
-      // Enumerate c by Gray code over comp.
-      Word c = 0;
-      const std::size_t comp_count = std::size_t{1} << comp.size();
-      for (std::size_t ci = 1; ci < comp_count; ++ci) {
-        c ^= comp[static_cast<std::size_t>(std::countr_zero(ci))];
-        for (int eps = 0; eps < 2; ++eps) {
-          candidate[static_cast<std::size_t>(d - 1)] =
-              eps == 0 ? c : (c ^ k0);
-          const std::uint64_t est = estimate_misses_basis(profile, candidate);
-          ++out.evaluations;
-          if (est < best) {
-            best = est;
-            best_basis = candidate;
+      const auto flush = [&] {
+        if (ws.empty()) return;
+        sums.assign(ws.size(), 0);
+        coset_sums(profile, core, ws, sums);
+        local.evaluations += ws.size();
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+          const std::uint64_t est = core_estimate + sums[i];
+          if (est < local.best.estimate) {
+            local.best.estimate = est;
+            local.best.rank = ranks[i];
+            local.winner.assign(core.begin(), core.end());
+            local.winner.push_back(ws[i]);
           }
         }
-      }
-    }
+        ws.clear();
+        ranks.clear();
+      };
 
-    if (best_basis.empty()) break;  // local optimum
-    out.space = Subspace::span_of(n, best_basis);
+      for (std::size_t a = alpha_begin; a < alpha_end; ++a) {
+        const Word alpha = static_cast<Word>(a) + 1;
+        // Pivot basis vector outside the hyperplane U = ker(alpha).
+        const int j = std::countr_zero(alpha);
+        const Word k0 = basis[static_cast<std::size_t>(j)];
+        // Basis of U: untouched basis vectors where alpha_i = 0, and
+        // b_i ^ b_j where alpha_i = 1 (i != j).
+        int u_count = 0;
+        for (int i = 0; i < d; ++i) {
+          if (i == j) continue;
+          const Word b = basis[static_cast<std::size_t>(i)];
+          core[static_cast<std::size_t>(u_count++)] =
+              gf2::get_bit(alpha, i) ? (b ^ k0) : b;
+        }
+        core_estimate = estimate_misses_basis(profile, core);
+        // New direction w = c ^ eps * k0 over nonzero complement members
+        // c (Gray code over comp). Every such w lies outside U: c is
+        // outside span(basis) and k0 is inside, so the span(U + w)
+        // candidates all have dimension d and the coset identity is
+        // exact.
+        Word c = 0;
+        const std::ptrdiff_t alpha_rank_base =
+            static_cast<std::ptrdiff_t>(a) * per_alpha;
+        for (std::size_t ci = 1; ci < comp_count; ++ci) {
+          c ^= comp[static_cast<std::size_t>(std::countr_zero(ci))];
+          for (int eps = 0; eps < 2; ++eps) {
+            ws.push_back(eps == 0 ? c : (c ^ k0));
+            ranks.push_back(alpha_rank_base +
+                            2 * (static_cast<std::ptrdiff_t>(ci) - 1) + eps);
+            if (ws.size() == coset_batch) flush();
+          }
+        }
+        flush();  // batches never straddle hyperplanes: core changes here
+      }
+    });
+
+    ScanBest best;
+    best.estimate = out.estimate;
+    const std::vector<Word>* winner = nullptr;
+    std::uint64_t scan_evaluations = 0;
+    for (const AlphaScan& chunk : chunks) {
+      if (chunk.best.rank >= 0 && chunk.best.estimate < best.estimate) {
+        best = chunk.best;
+        winner = &chunk.winner;
+      }
+      scan_evaluations += chunk.evaluations;
+    }
+    out.evaluations += scan_evaluations;
+    // Evaluation-count convention (SearchStats::evaluations): exactly one
+    // per (alpha, complement member, epsilon) candidate, independent of
+    // evaluation strategy and chunking.
+    assert(scan_evaluations ==
+           ((std::uint64_t{1} << d) - 1) * static_cast<std::uint64_t>(per_alpha));
+
+    if (winner == nullptr) break;  // local optimum
+    out.space = Subspace::span_of(n, *winner);
     assert(out.space.dim() == d);
-    out.estimate = best;
+    out.estimate = best.estimate;
     ++out.iterations;
   }
   return out;
@@ -92,13 +160,17 @@ SubspaceSearchResult search_general_xor(
   const int d = n - m;
   assert(d >= 0);
 
+  // One private pool serves every climb; nullptr keeps scans serial.
+  const std::unique_ptr<engine::ThreadPool> pool = make_scan_pool(options);
+
   // Null space of the conventional index: the high-order directions.
   std::vector<Word> high;
   high.reserve(static_cast<std::size_t>(d));
   for (int i = m; i < n; ++i) high.push_back(gf2::unit(i));
   const Subspace conventional = Subspace::span_of(n, high);
 
-  ClimbOutcome best = climb(profile, conventional, options.max_iterations);
+  ClimbOutcome best =
+      climb(profile, conventional, options.max_iterations, pool.get());
 
   SearchStats stats;
   stats.evaluations = best.evaluations;
@@ -107,8 +179,9 @@ SubspaceSearchResult search_general_xor(
 
   std::mt19937_64 rng(options.seed);
   for (int r = 0; r < options.random_restarts; ++r) {
-    ClimbOutcome candidate = climb(
-        profile, gf2::random_subspace(n, d, rng), options.max_iterations);
+    ClimbOutcome candidate =
+        climb(profile, gf2::random_subspace(n, d, rng), options.max_iterations,
+              pool.get());
     stats.evaluations += candidate.evaluations;
     ++stats.restarts_used;
     if (candidate.estimate < best.estimate) best = std::move(candidate);

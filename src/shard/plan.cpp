@@ -139,6 +139,11 @@ void fold_payload(FingerprintHasher& h, const engine::JobPayload& payload) {
       h.u64(j.revert_if_worse ? 1 : 0);
       h.u64(static_cast<std::uint64_t>(j.random_restarts));
       h.u64(j.seed);
+      // threads never changes a cell's value, but it is part of the spec
+      // string and therefore of the column label, so two requests that
+      // differ only in threads= already produce different reports; fold
+      // it for consistency with the labels.
+      h.u64(static_cast<std::uint64_t>(j.threads));
     }
     void operator()(const engine::OptimalBitSelectJob& j) const {
       h.u64(3);

@@ -154,9 +154,34 @@ TEST(StrategyGrammar, BitSelectModes) {
             search::FunctionClass::bit_select);
 }
 
+TEST(StrategyGrammar, ThreadsOptionParsesIntoSearchJobs) {
+  // threads=K is a pure wall-clock knob on the hill-climbing strategies;
+  // 0 means one worker per hardware thread and the default is serial.
+  const Result<Strategy> perm = parse_strategy("perm:threads=4");
+  ASSERT_TRUE(perm.ok()) << perm.status().to_string();
+  EXPECT_EQ(as_optimize(*perm)->threads, 4);
+  EXPECT_EQ(as_optimize(parse_strategy("perm").value())->threads, 1);
+  EXPECT_EQ(as_optimize(parse_strategy("xor:threads=0").value())->threads, 0);
+  EXPECT_EQ(
+      as_optimize(parse_strategy("bitselect:threads=2").value())->threads, 2);
+  // Composes with the other search options.
+  const Result<Strategy> combo =
+      parse_strategy("perm:fanin=2:restarts=3:threads=8");
+  ASSERT_TRUE(combo.ok()) << combo.status().to_string();
+  EXPECT_EQ(as_optimize(*combo)->max_fan_in, 2);
+  EXPECT_EQ(as_optimize(*combo)->random_restarts, 3);
+  EXPECT_EQ(as_optimize(*combo)->threads, 8);
+}
+
 TEST(StrategyGrammar, BadSpecsNameTheToken) {
-  for (const char* bad : {"warp9", "perm:warp=1", "perm:0", "base:fanin=2",
-                          "bitselect:exact:est", "fa:revert", ""}) {
+  for (const char* bad :
+       {"warp9", "perm:warp=1", "perm:0", "base:fanin=2",
+        "bitselect:exact:est", "fa:revert", "",
+        // Malformed / misplaced threads= and restarts= values must fail
+        // naming the offending token (the CLI turns these into exit 2).
+        "perm:threads=", "perm:threads=x", "perm:threads=-1",
+        "perm:threads=2.5", "xor:restarts=", "xor:restarts=abc",
+        "base:threads=2", "bitselect:exact:threads=2", "3c:restarts=1"}) {
     const Result<Strategy> parsed = parse_strategy(bad);
     ASSERT_FALSE(parsed.ok()) << "'" << bad << "' should not parse";
     EXPECT_EQ(parsed.status().code(), StatusCode::parse_error);
@@ -475,6 +500,25 @@ TEST(OneShot, TuneMatchesExplore) {
   ASSERT_TRUE(explored.ok());
   EXPECT_EQ(tuned->optimized_misses, explored->rows[0].misses);
   EXPECT_EQ(tuned->baseline_misses, explored->rows[0].baseline_misses);
+}
+
+TEST(OneShot, TuneHonorsThreadsAndStaysIdentical) {
+  // The tune path must carry threads=K into the search (not silently
+  // drop it) and, like the engine path, return bit-identical results to
+  // the serial spec.
+  const trace::Trace t = small_trace();
+  const Result<TuneOutcome> serial =
+      tune(TraceRef::memory("stride", t), GeometrySpec(1024, 4),
+           parse_strategy("perm").value());
+  const Result<TuneOutcome> threaded =
+      tune(TraceRef::memory("stride", t), GeometrySpec(1024, 4),
+           parse_strategy("perm:threads=3").value());
+  ASSERT_TRUE(serial.ok()) << serial.status().to_string();
+  ASSERT_TRUE(threaded.ok()) << threaded.status().to_string();
+  EXPECT_EQ(serial->optimized_misses, threaded->optimized_misses);
+  EXPECT_EQ(serial->estimated_misses, threaded->estimated_misses);
+  EXPECT_EQ(serial->function->describe(), threaded->function->describe());
+  EXPECT_EQ(serial->stats.evaluations, threaded->stats.evaluations);
 }
 
 TEST(OneShot, TuneRejectsNonSearchStrategies) {
