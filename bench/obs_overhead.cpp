@@ -1,0 +1,146 @@
+// obs_overhead: gate the cost of compiled-in instrumentation.
+//
+// Runs the table2-small grid (the engine smoke sweep: 10 traces x 3
+// geometries x base,perm:2,perm) twice per repetition — once with
+// metric recording runtime-disabled (the closest one binary gets to an
+// XORIDX_OBS=OFF build: every site reduces to a load + branch) and once
+// with recording live — and gates the relative overhead at <2%. Arms
+// alternate and each takes its best-of-reps wall time, so clock drift
+// on a busy host hits both equally. The CSV bytes of every run are
+// compared: instrumentation that changed a result would fail here
+// before any differential test sees it.
+//
+//   obs_overhead [--reps N] [--threads N] [--json]
+//
+// Exit code 1 when the gate fails (overhead >= 2% in an XORIDX_OBS=ON
+// build) or any run's CSV deviates.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workloads/workload.hpp"
+#include "xoridx/api.hpp"
+#include "xoridx/obs.hpp"
+
+namespace {
+
+using namespace xoridx;
+
+/// One full grid pass; returns wall ms and appends the CSV bytes.
+double run_grid(const api::ExplorationRequest& base, std::string& csv) {
+  api::ExplorationRequest request = base;
+  std::ostringstream os;
+  api::CsvSink sink(os);
+  request.sink = &sink;
+  bench::StopWatch watch;
+  const api::Result<api::Report> report = api::Explorer::explore(request);
+  const double wall_ms = watch.ms();
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 report.status().to_string().c_str());
+    std::exit(1);
+  }
+  csv = os.str();
+  return wall_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 3;
+  unsigned threads = 1;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = bench::parse_threads(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_overhead [--reps N] [--threads N] [--json]\n");
+      return 2;
+    }
+  }
+
+  api::ExplorationRequest request;
+  request.hashed_bits = bench::paper_hashed_bits;
+  request.num_threads = threads;
+  for (const std::string& name :
+       workloads::workload_names(workloads::Suite::table2)) {
+    workloads::Workload w =
+        workloads::make_workload(name, workloads::Scale::small);
+    request.traces.push_back(api::TraceRef::memory(w.name, std::move(w.data)));
+  }
+  for (const cache::CacheGeometry& g : bench::paper_geometries())
+    request.geometries.emplace_back(g);
+  api::Result<std::vector<api::Strategy>> strategies =
+      api::parse_strategies("base,perm:2,perm");
+  if (!strategies.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 strategies.status().to_string().c_str());
+    return 1;
+  }
+  request.strategies = std::move(*strategies);
+
+  obs::set_trace_enabled(false);
+
+  // Warmup both arms once (allocator + page-cache effects), then time.
+  std::string reference_csv;
+  obs::set_metrics_enabled(false);
+  run_grid(request, reference_csv);
+  obs::set_metrics_enabled(true);
+  std::string csv;
+  run_grid(request, csv);
+  bool identical = csv == reference_csv;
+
+  double best_off_ms = 0.0;
+  double best_on_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::set_metrics_enabled(false);
+    const double off_ms = run_grid(request, csv);
+    identical = identical && csv == reference_csv;
+    if (rep == 0 || off_ms < best_off_ms) best_off_ms = off_ms;
+
+    obs::set_metrics_enabled(true);
+    const double on_ms = run_grid(request, csv);
+    identical = identical && csv == reference_csv;
+    if (rep == 0 || on_ms < best_on_ms) best_on_ms = on_ms;
+    std::fprintf(stderr, "  [obs_overhead] rep %d/%d: off %.1f ms, on %.1f ms\n",
+                 rep + 1, reps, off_ms, on_ms);
+  }
+
+  const double overhead_pct =
+      best_off_ms <= 0.0 ? 0.0
+                         : 100.0 * (best_on_ms - best_off_ms) / best_off_ms;
+  const bool gate_ok = !obs::compiled() || overhead_pct < 2.0;
+
+  std::fprintf(stderr,
+               "obs_overhead: table2-small grid, %d reps, threads=%u\n"
+               "  obs off (runtime): %.1f ms best\n"
+               "  obs on:            %.1f ms best\n"
+               "  overhead:          %.2f%% (gate <2%%) %s\n"
+               "  csv identical:     %s\n",
+               reps, threads, best_off_ms, best_on_ms, overhead_pct,
+               gate_ok ? "PASS" : "FAIL", identical ? "yes" : "NO");
+
+  if (json) {
+    bench::JsonReport report("obs_overhead");
+    report.row("table2-small-grid")
+        .num("reps", reps)
+        .num("threads", static_cast<int>(threads))
+        .boolean("obs_compiled", obs::compiled())
+        .num("wall_ms_obs_off", best_off_ms)
+        .num("wall_ms_obs_on", best_on_ms)
+        .num("overhead_pct", overhead_pct)
+        .boolean("identical", identical)
+        .boolean("gate_ok", gate_ok);
+    report.write(std::cout);
+  }
+  return gate_ok && identical ? 0 : 1;
+}

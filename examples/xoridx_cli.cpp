@@ -50,6 +50,7 @@
 #include "hash/serialize.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
+#include "xoridx/obs.hpp"
 #include "xoridx/shard.hpp"
 
 namespace {
@@ -74,6 +75,8 @@ int usage() {
                "[--format csv|json]\n"
                "      [--trace file.bin]... [--mmap] [--small] [--out file]\n"
                "      [--shard i/N] [--report-out file]\n"
+               "      [--metrics-out m.json] [--trace-out spans.json] "
+               "[--progress]\n"
                "    strategy specs: %s\n"
                "      (legacy aliases: classify general opt opt-est "
                "perm:<fan_in>)\n"
@@ -93,6 +96,34 @@ int usage() {
 int fail(const api::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
   return 1;
+}
+
+/// Write the --metrics-out / --trace-out files (either may be empty).
+/// Observability outputs only: the CSV/report bytes on stdout and disk
+/// are already final when this runs. Returns 0 or an exit code.
+int write_obs_outputs(const std::string& metrics_out,
+                      const std::string& trace_out) {
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    obs::registry().snapshot().write_json(os);
+  }
+  if (!trace_out.empty()) {
+    obs::set_trace_enabled(false);
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(os);
+    if (const std::uint64_t dropped = obs::spans_dropped(); dropped > 0)
+      std::fprintf(stderr, "[obs] %llu spans dropped (ring buffer full)\n",
+                   static_cast<unsigned long long>(dropped));
+  }
+  return 0;
 }
 
 int cmd_version() {
@@ -249,6 +280,9 @@ int cmd_engine(int argc, char** argv) {
   std::string class_specs = "base,perm:2,perm";
   std::vector<std::string> trace_files;
   bool mmap_traces = false;
+  std::string metrics_out;
+  std::string trace_out;
+  bool progress = false;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -295,11 +329,25 @@ int cmd_engine(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage();
       report_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (!v) return usage();
+      metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (!v) return usage();
+      trace_out = v;
+    } else if (arg == "--progress") {
+      progress = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage();
     }
   }
+
+  // Span recording starts before workloads are generated so profile
+  // builds and the campaign itself all land in the trace.
+  if (!trace_out.empty()) obs::set_trace_enabled(true);
 
   // --shard is validated before any trace is synthesized or loaded: a
   // malformed spec is a usage error (exit 2) naming the bad value, not
@@ -385,8 +433,14 @@ int cmd_engine(int argc, char** argv) {
                  static_cast<unsigned long long>(owned),
                  static_cast<unsigned long long>(plan->total_cells()),
                  plan->estimated_cost(shard_ref.index));
+    obs::ProgressReporter reporter({.done_counter = "shard.cells_done",
+                                    .error_counter = "shard.cell_errors",
+                                    .total = owned,
+                                    .label = "engine"});
+    if (progress) reporter.start();
     const api::Result<shard::Report> report =
-        shard::run_shard(request, *plan, shard_ref.index);
+        shard::run_shard(request, *plan, shard_ref.index, &reporter);
+    reporter.stop();
     if (!report.ok()) return fail(report.status());
     if (!report_out.empty())
       if (const api::Status saved = shard::save_report(*report, report_out);
@@ -398,6 +452,8 @@ int cmd_engine(int argc, char** argv) {
                  report->error_count(),
                  report_out.empty() ? "" : ", report saved to ",
                  report_out.c_str());
+    if (const int rc = write_obs_outputs(metrics_out, trace_out); rc != 0)
+      return rc;
     return report->error_count() == 0 ? 0 : 1;
   }
 
@@ -415,12 +471,19 @@ int cmd_engine(int argc, char** argv) {
                request.geometries.size(), request.strategies.size(),
                request.num_threads == 0 ? api::default_threads()
                                         : request.num_threads);
+  obs::ProgressReporter reporter(
+      {.done_counter = "engine.jobs_completed",
+       .error_counter = {},
+       .total = static_cast<std::uint64_t>(request.job_count()),
+       .label = "engine"});
+  if (progress) reporter.start();
   const api::Result<api::Report> report = api::Explorer::explore(request);
+  reporter.stop();
   if (!report.ok()) return fail(report.status());
   std::fprintf(stderr, "[engine] profile cache: %llu built, %llu shared\n",
                static_cast<unsigned long long>(report->profiles_built),
                static_cast<unsigned long long>(report->profiles_shared));
-  return 0;
+  return write_obs_outputs(metrics_out, trace_out);
 }
 
 int cmd_merge(int argc, char** argv) {

@@ -7,6 +7,8 @@
 #include "cache/simulate.hpp"
 #include "engine/thread_pool.hpp"
 #include "hash/xor_function.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "search/exhaustive_bit_select.hpp"
 #include "search/optimizer.hpp"
 #include "tracestore/store.hpp"
@@ -191,6 +193,10 @@ JobResult Campaign::execute(const Job& job) {
   const TraceEntry& entry = spec_.traces[job.trace_index];
   const cache::CacheGeometry& geom = spec_.geometries[job.geometry_index];
 
+  XORIDX_SPAN_NAMED(span, "engine", "job");
+  XORIDX_SPAN_DETAIL(span, entry.name + " " + geom.to_string() + " " +
+                               job.label);
+
   JobResult result;
   result.trace_name = entry.name;
   result.geometry = geom;
@@ -345,6 +351,7 @@ JobResult Campaign::execute(const Job& job) {
     }
   };
   std::visit(Visitor{*this, job, entry, geom, result}, job.payload);
+  XORIDX_OBS_COUNT("engine.jobs_completed", 1);
   return result;
 }
 

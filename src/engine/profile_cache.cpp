@@ -1,5 +1,10 @@
 #include "engine/profile_cache.hpp"
 
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace xoridx::engine {
 
 std::size_t ProfileCache::KeyHash::operator()(const Key& k) const noexcept {
@@ -31,15 +36,30 @@ ProfileCache::ProfilePtr ProfileCache::get_or_build_impl(const Key& key,
       it->second = promise.get_future().share();
       builder = true;
       ++misses_;
+      XORIDX_OBS_COUNT("profile_cache.misses", 1);
     } else {
       ++hits_;
+      XORIDX_OBS_COUNT("profile_cache.hits", 1);
     }
     future = it->second;
   }
   if (builder) {
+    XORIDX_SPAN_NAMED(span, "profile", "build_conflict_profile");
+    XORIDX_SPAN_DETAIL(span, [&] {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "trace=%016llx%016llx",
+                    static_cast<unsigned long long>(key.id.hi),
+                    static_cast<unsigned long long>(key.id.lo));
+      return std::string(buf);
+    }());
+#if XORIDX_OBS_ENABLED
+    const std::uint64_t build_start = obs::now_ns();
+#endif
     try {
       promise.set_value(std::make_shared<const profile::ConflictProfile>(
           build()));
+      XORIDX_OBS_HIST("profile_cache.build_ns",
+                      obs::now_ns() - build_start);
     } catch (...) {
       promise.set_exception(std::current_exception());
       // Don't cache the failure: peers already waiting on this future see

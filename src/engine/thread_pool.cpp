@@ -27,19 +27,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task task) {
+  QueueEntry entry{std::move(task)};
+#if XORIDX_OBS_ENABLED
+  entry.enqueue_ns = obs::now_ns();
+#endif
   {
     std::lock_guard lock(mutex_);
-    queues_[next_queue_].push_back(std::move(task));
+    queues_[next_queue_].push_back(std::move(entry));
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++pending_;
+    XORIDX_OBS_GAUGE_ADD("engine.pool.queue_depth", 1);
   }
   work_cv_.notify_one();
 }
 
-bool ThreadPool::pop_locked(std::size_t self, Task& out) {
+bool ThreadPool::pop_locked(std::size_t self, QueueEntry& out,
+                            bool& stolen) {
   if (!queues_[self].empty()) {
     out = std::move(queues_[self].front());
     queues_[self].pop_front();
+    stolen = false;
     return true;
   }
   std::size_t victim = queues_.size();
@@ -52,19 +59,30 @@ bool ThreadPool::pop_locked(std::size_t self, Task& out) {
   if (victim == queues_.size()) return false;
   out = std::move(queues_[victim].back());
   queues_[victim].pop_back();
+  stolen = true;
   return true;
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
-    Task task;
+    QueueEntry entry;
+    bool stolen = false;
     {
       std::unique_lock lock(mutex_);
-      work_cv_.wait(lock,
-                    [&] { return pop_locked(self, task) || stopping_; });
-      if (!task) return;  // stopping, queues drained
+      work_cv_.wait(
+          lock, [&] { return pop_locked(self, entry, stolen) || stopping_; });
+      if (!entry.task) return;  // stopping, queues drained
+      XORIDX_OBS_GAUGE_ADD("engine.pool.queue_depth", -1);
+      if (stolen) XORIDX_OBS_COUNT("engine.pool.steals", 1);
     }
-    task();
+#if XORIDX_OBS_ENABLED
+    const std::uint64_t run_start = obs::now_ns();
+    XORIDX_OBS_HIST("engine.pool.queue_ns", run_start - entry.enqueue_ns);
+#endif
+    entry.task();
+#if XORIDX_OBS_ENABLED
+    XORIDX_OBS_HIST("engine.pool.task_ns", obs::now_ns() - run_start);
+#endif
     {
       std::lock_guard lock(mutex_);
       --pending_;

@@ -11,11 +11,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace xoridx::engine {
 
@@ -46,12 +49,21 @@ class ThreadPool {
   [[nodiscard]] static unsigned default_threads() noexcept;
 
  private:
-  void worker_loop(std::size_t self);
-  /// Pop from own queue front, else steal from the most loaded sibling's
-  /// back. Caller must hold `mutex_`.
-  bool pop_locked(std::size_t self, Task& out);
+  /// A queued task; under XORIDX_OBS the submit time rides along so the
+  /// worker can report queue latency.
+  struct QueueEntry {
+    Task task;
+#if XORIDX_OBS_ENABLED
+    std::uint64_t enqueue_ns = 0;
+#endif
+  };
 
-  std::vector<std::deque<Task>> queues_;  ///< one per worker
+  void worker_loop(std::size_t self);
+  /// Pop from own queue front, else steal from the back of the most
+  /// loaded sibling (reported via `stolen`). Caller must hold `mutex_`.
+  bool pop_locked(std::size_t self, QueueEntry& out, bool& stolen);
+
+  std::vector<std::deque<QueueEntry>> queues_;  ///< one per worker
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;

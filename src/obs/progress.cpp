@@ -1,0 +1,109 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace xoridx::obs {
+
+ProgressReporter::ProgressReporter(Options options)
+    : options_(std::move(options)) {}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+void ProgressReporter::start() {
+  if (!compiled() || started_) return;
+  started_ = true;
+  stopping_ = false;
+  start_ns_ = now_ns();
+  thread_ = std::thread([this] { run(); });
+}
+
+void ProgressReporter::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  if (last_done_ > 0) print_line(/*final_line=*/true);
+}
+
+void ProgressReporter::warn(const std::string& message) {
+  std::FILE* out = options_.stream != nullptr ? options_.stream : stderr;
+  // One fprintf call so concurrent warners interleave per-line at worst.
+  std::fprintf(out, "[%s] warning: %s\n", options_.label.c_str(),
+               message.c_str());
+  std::fflush(out);
+}
+
+void ProgressReporter::run() {
+  const auto interval = std::chrono::duration<double>(
+      std::max(options_.interval_s, 0.05));
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    print_line(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void ProgressReporter::print_line(bool final_line) {
+  const Snapshot snap = registry().snapshot();
+  const std::uint64_t done = snap.counter(options_.done_counter);
+  if (done == 0 && !final_line) return;  // nothing started yet
+  last_done_ = done;
+
+  const double elapsed_s =
+      static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  const double rate = elapsed_s > 0.0
+                          ? static_cast<double>(done) / elapsed_s
+                          : 0.0;
+
+  char buf[256];
+  int len = std::snprintf(buf, sizeof(buf), "[%s] %llu",
+                          options_.label.c_str(),
+                          static_cast<unsigned long long>(done));
+  const auto append = [&](const char* fmt, auto... args) {
+    if (len < 0 || static_cast<std::size_t>(len) >= sizeof(buf)) return;
+    const int n = std::snprintf(buf + len, sizeof(buf) - len, fmt, args...);
+    if (n > 0) len += n;
+  };
+
+  if (options_.total > 0) {
+    append("/%llu cells (%.1f%%)",
+           static_cast<unsigned long long>(options_.total),
+           100.0 * static_cast<double>(done) /
+               static_cast<double>(options_.total));
+  } else {
+    append(" cells");
+  }
+  append(" | %.1f/s", rate);
+  if (options_.total > done && rate > 0.0 && !final_line)
+    append(" | eta %.0fs",
+           static_cast<double>(options_.total - done) / rate);
+  if (final_line) append(" | done in %.1fs", elapsed_s);
+
+  const std::uint64_t hits = snap.counter("profile_cache.hits");
+  const std::uint64_t misses = snap.counter("profile_cache.misses");
+  if (hits + misses > 0)
+    append(" | cache %.1f%% hit",
+           100.0 * static_cast<double>(hits) /
+               static_cast<double>(hits + misses));
+
+  if (!options_.error_counter.empty()) {
+    const std::uint64_t errors = snap.counter(options_.error_counter);
+    if (errors > 0)
+      append(" | errors %llu", static_cast<unsigned long long>(errors));
+  }
+
+  std::FILE* out = options_.stream != nullptr ? options_.stream : stderr;
+  std::fprintf(out, "%s\n", buf);
+  std::fflush(out);
+}
+
+}  // namespace xoridx::obs

@@ -1,0 +1,176 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"  // now_ns()
+
+namespace xoridx::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_trace_base_ns{0};
+
+/// Per-thread ring buffer. The owning thread is the only writer; the
+/// exporter reads `size` with acquire and sees fully-written events.
+/// Drop-newest on overflow keeps the earliest spans (the interesting
+/// ramp-up) and counts what was lost.
+struct SpanBuffer {
+  explicit SpanBuffer(std::uint32_t tid_in) : tid(tid_in) {
+    events.resize(span_buffer_capacity);
+  }
+  std::uint32_t tid;
+  std::vector<SpanEvent> events;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+
+  void push(SpanEvent ev) {
+    const std::size_t n = size.load(std::memory_order_relaxed);
+    if (n >= events.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events[n] = std::move(ev);
+    size.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct BufferList {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<SpanBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferList& buffer_list() {
+  static BufferList list;
+  return list;
+}
+
+/// The calling thread's buffer, created and registered on first use.
+/// The shared_ptr in the global list keeps it alive past thread exit so
+/// the exporter still sees a finished worker's spans.
+SpanBuffer& local_buffer() {
+  thread_local std::shared_ptr<SpanBuffer> buffer = [] {
+    BufferList& list = buffer_list();
+    std::lock_guard lock(list.mutex);
+    auto b = std::make_shared<SpanBuffer>(list.next_tid++);
+    list.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) noexcept {
+  if (enabled) {
+    std::uint64_t expected = 0;
+    g_trace_base_ns.compare_exchange_strong(expected, now_ns(),
+                                            std::memory_order_relaxed);
+  }
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* category, const char* name) noexcept
+    : category_(category), name_(name) {
+  if (trace_enabled()) {
+    active_ = true;
+    start_ns_ = now_ns();
+  }
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t end = now_ns();
+  local_buffer().push(SpanEvent{category_, name_, start_ns_,
+                                end - start_ns_, std::move(detail_)});
+}
+
+void Span::detail(std::string text) {
+  if (active_) detail_ = std::move(text);
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::uint64_t base = g_trace_base_ns.load(std::memory_order_relaxed);
+  // Microseconds with the nanosecond remainder as a 3-digit fraction.
+  const auto us = [](std::uint64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return std::string(buf);
+  };
+  os << "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [";
+  bool first = true;
+  BufferList& list = buffer_list();
+  std::lock_guard lock(list.mutex);
+  for (const std::shared_ptr<SpanBuffer>& buf : list.buffers) {
+    const std::size_t n = buf->size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SpanEvent& ev = buf->events[i];
+      const std::uint64_t rel =
+          ev.start_ns >= base ? ev.start_ns - base : 0;
+      os << (first ? "\n" : ",\n") << "  {\"name\": \""
+         << json_escape(ev.name) << "\", \"cat\": \""
+         << json_escape(ev.category)
+         << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << buf->tid
+         << ", \"ts\": " << us(rel) << ", \"dur\": " << us(ev.dur_ns);
+      if (!ev.detail.empty())
+        os << ", \"args\": {\"detail\": \"" << json_escape(ev.detail)
+           << "\"}";
+      os << "}";
+      first = false;
+    }
+  }
+  os << "\n ]}\n";
+}
+
+std::uint64_t spans_dropped() noexcept {
+  BufferList& list = buffer_list();
+  std::lock_guard lock(list.mutex);
+  std::uint64_t total = 0;
+  for (const std::shared_ptr<SpanBuffer>& buf : list.buffers)
+    total += buf->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+void clear_spans() noexcept {
+  BufferList& list = buffer_list();
+  std::lock_guard lock(list.mutex);
+  for (const std::shared_ptr<SpanBuffer>& buf : list.buffers) {
+    buf->size.store(0, std::memory_order_relaxed);
+    buf->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace xoridx::obs

@@ -1,0 +1,119 @@
+// RAII span timing with per-thread ring buffers and a Chrome
+// trace-event JSON exporter.
+//
+// A Span stamps steady-clock time at construction and appends one event
+// to its thread's ring buffer at destruction — no locks on the record
+// path (the buffer is written by its owning thread only and published
+// with a release store). Buffers are pre-sized and drop-newest when
+// full, with a drop counter so truncation is visible rather than
+// silent. write_chrome_trace() emits the buffers as a Chrome
+// trace-event JSON document ("ph":"X" complete events) loadable in
+// Perfetto or chrome://tracing.
+//
+// Tracing is off by default: Span construction when trace_enabled() is
+// false is a load + branch and records nothing (the CLI enables it for
+// --trace-out). Like the metrics layer, spans never feed back into
+// computation — outputs are byte-identical with tracing on, off, or
+// compiled out.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#ifndef XORIDX_OBS_ENABLED
+#define XORIDX_OBS_ENABLED 1
+#endif
+
+namespace xoridx::obs {
+
+/// Events each thread's ring buffer can hold before dropping.
+inline constexpr std::size_t span_buffer_capacity = std::size_t{1} << 14;
+
+/// Master runtime switch for span recording (default off).
+void set_trace_enabled(bool enabled) noexcept;
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// One completed span. category/name are expected to be string literals
+/// (the recorder stores the pointers, not copies).
+struct SpanEvent {
+  const char* category = "";
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::string detail;  ///< optional free-form annotation ("args" in JSON)
+};
+
+/// RAII timed span. Records one SpanEvent on destruction iff tracing was
+/// enabled at construction. Cheap to construct when tracing is off.
+class Span {
+ public:
+  Span(const char* category, const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach an annotation (overwrites any previous one). Callers should
+  /// gate formatting work on trace_enabled() — see XORIDX_SPAN_DETAIL.
+  void detail(std::string text);
+
+ private:
+  const char* category_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::string detail_;
+  bool active_ = false;
+};
+
+/// No-op stand-in with the same surface, used by the XORIDX_OBS=OFF
+/// macro expansion so call sites keep compiling.
+struct NoopSpan {
+  void detail(const std::string&) {}
+};
+
+/// Emit every recorded span as one Chrome trace-event JSON document.
+/// Concurrent recording is tolerated (events published before the call
+/// are included); timestamps are microseconds relative to the first
+/// set_trace_enabled(true).
+void write_chrome_trace(std::ostream& os);
+
+/// Total spans dropped across all ring buffers since the last clear.
+[[nodiscard]] std::uint64_t spans_dropped() noexcept;
+
+/// Discard all recorded spans. Callers must ensure no thread is
+/// concurrently recording (test/bench convenience between runs).
+void clear_spans() noexcept;
+
+}  // namespace xoridx::obs
+
+// ------------------------------------------------------------ span macros
+
+#define XORIDX_OBS_CONCAT_IMPL(a, b) a##b
+#define XORIDX_OBS_CONCAT(a, b) XORIDX_OBS_CONCAT_IMPL(a, b)
+
+#if XORIDX_OBS_ENABLED
+
+/// Time the enclosing scope: XORIDX_SPAN("search", "climb");
+#define XORIDX_SPAN(category, name)                        \
+  ::xoridx::obs::Span XORIDX_OBS_CONCAT(xoridx_span_,      \
+                                        __LINE__){category, name}
+
+/// Named variant when the span needs a detail() annotation.
+#define XORIDX_SPAN_NAMED(var, category, name) \
+  ::xoridx::obs::Span var { category, name }
+
+/// Annotate `span`; `expr` (often a string build) is evaluated only when
+/// tracing is live, and not at all under XORIDX_OBS=OFF.
+#define XORIDX_SPAN_DETAIL(span, expr)                    \
+  do {                                                    \
+    if (::xoridx::obs::trace_enabled()) (span).detail(expr); \
+  } while (0)
+
+#else
+
+#define XORIDX_SPAN(category, name) ((void)0)
+#define XORIDX_SPAN_NAMED(var, category, name) \
+  [[maybe_unused]] ::xoridx::obs::NoopSpan var {}
+#define XORIDX_SPAN_DETAIL(span, expr) ((void)0)
+
+#endif

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "profile/fenwick.hpp"
 #include "tracestore/trace_source.hpp"
 
@@ -71,6 +73,8 @@ ConflictProfile& ConflictProfile::operator=(ConflictProfile&& other) noexcept {
 
 const std::vector<std::uint64_t>& ConflictProfile::subset_sums() const {
   std::call_once(zeta_->once, [this] {
+    XORIDX_SPAN("profile", "zeta_build");
+    XORIDX_OBS_COUNT("profile.zeta_builds", 1);
     // Standard subset-sum DP: after processing bit b, z[u] holds the sum
     // of table entries over all v that match u on bits > b and are
     // submasks of u on bits <= b — n * 2^n adds in total. The build is

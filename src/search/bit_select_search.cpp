@@ -5,6 +5,8 @@
 #include <random>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "search/estimator.hpp"
 
 namespace xoridx::search {
@@ -86,6 +88,7 @@ BitSelectSearchResult search_bit_select(
   const int n = profile.hashed_bits();
   const int m = index_bits;
   assert(m <= n);
+  XORIDX_SPAN("search", "bit_select");
 
   const Word conventional = gf2::mask_of(m);
   ClimbOutcome best = climb(profile, conventional, n, options.max_iterations);
@@ -105,6 +108,9 @@ BitSelectSearchResult search_bit_select(
     if (candidate.estimate < best.estimate) best = candidate;
   }
   stats.best_estimate = best.estimate;
+  // Bulk-counted once per search so the O(1) zeta-lookup inner loop stays
+  // untouched; equals SearchStats::evaluations by construction.
+  XORIDX_OBS_COUNT("search.evaluations", stats.evaluations);
 
   return BitSelectSearchResult{
       hash::BitSelectFunction(n, mask_to_positions(best.selected)), stats};

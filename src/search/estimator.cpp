@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/metrics.hpp"
+
 namespace xoridx::search {
 
 std::uint64_t estimate_misses_basis(const profile::ConflictProfile& profile,
@@ -45,6 +47,9 @@ std::uint64_t coset_sum(const profile::ConflictProfile& profile,
 void coset_sums(const profile::ConflictProfile& profile,
                 std::span<const gf2::Word> basis, std::span<const gf2::Word> ws,
                 std::span<std::uint64_t> out) {
+  // One count per batch (not per member): the inner loop is the hottest
+  // path of the climb kernels and must stay instrumentation-free.
+  XORIDX_OBS_COUNT("search.coset_batches", 1);
   gf2::Word v = 0;
   const std::size_t count = std::size_t{1} << basis.size();
   for (std::size_t i = 0;;) {

@@ -12,23 +12,30 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <exception>
 #include <memory>
 #include <vector>
 
 #include "engine/thread_pool.hpp"
+#include "obs/span.hpp"
 #include "search/search_types.hpp"
 
 namespace xoridx::search {
 
 /// Pool for SearchOptions::threads: nullptr for the serial path
 /// (threads == 1, or nothing to scan in parallel), else a private pool
-/// with the requested worker count (0 = hardware threads). Results are
-/// bit-identical for every worker count, so oversized requests clamp to
-/// max(hardware threads, 8) instead of spawning an OS thread per unit —
-/// the small floor keeps multi-worker determinism exercisable on
-/// single-core hosts.
+/// with one thread FEWER than the requested worker count (0 = hardware
+/// threads) — the calling thread is the remaining executor. Span traces
+/// of the checked-in kernels bench showed the old layout (K pool
+/// threads, caller parked in wait_idle for the whole scan) wasting one
+/// context's worth of CPU per scan and paying a mutex/cv dispatch per
+/// chunk; scan_chunks now shares work with the caller through an atomic
+/// cursor instead. Results are bit-identical for every worker count, so
+/// oversized requests clamp to max(hardware threads, 8) instead of
+/// spawning an OS thread per unit — the small floor keeps multi-worker
+/// determinism exercisable on single-core hosts.
 [[nodiscard]] inline std::unique_ptr<engine::ThreadPool> make_scan_pool(
     const SearchOptions& options) {
   if (options.threads == 1) return nullptr;
@@ -37,7 +44,7 @@ namespace xoridx::search {
       options.threads <= 0 ? hardware : static_cast<unsigned>(options.threads);
   const unsigned workers = std::min(requested, std::max(hardware, 8u));
   if (workers <= 1) return nullptr;  // single worker == serial scan
-  return std::make_unique<engine::ThreadPool>(workers);
+  return std::make_unique<engine::ThreadPool>(workers - 1);
 }
 
 /// The running winner of a scan: smallest estimate, earliest scan rank —
@@ -67,16 +74,23 @@ struct ScanBest {
   }
 };
 
-/// Split [0, count) into at most `max_chunks` contiguous chunks and run
-/// scan(chunk_index, begin, end) for each — on `pool` when given, inline
-/// otherwise. `results` receives one default-constructed Result per chunk,
-/// filled by the scan callbacks; chunk boundaries and result order depend
-/// only on (count, number of chunks), never on scheduling. The callback
-/// must touch shared state read-only and write only its own Result. A
-/// throw inside a chunk (e.g. bad_alloc in its scratch buffers) is
-/// captured on the worker and rethrown here after the scan drains, in
-/// chunk order — never across the pool boundary, where it would
-/// terminate the process and bypass the engine's per-cell error capture.
+/// Split [0, count) into contiguous chunks and run
+/// scan(chunk_index, begin, end) for each — shared between `pool` (when
+/// given) and the calling thread, inline otherwise. `results` receives
+/// one default-constructed Result per chunk, filled by the scan
+/// callbacks; chunk boundaries and result order depend only on
+/// (count, number of executors), never on scheduling. The callback must
+/// touch shared state read-only and write only its own Result.
+///
+/// Execution model: chunks are claimed from an atomic cursor by
+/// pool->size() drainer tasks plus the caller itself, so every executor
+/// (caller included) works until the chunks run out — one pool dispatch
+/// per *worker* per scan instead of one per *chunk*, and no thread sits
+/// parked in wait_idle while others finish. A throw inside a chunk
+/// (e.g. bad_alloc in its scratch buffers) is captured by its drainer
+/// and rethrown here after the scan drains, in chunk order — never
+/// across the pool boundary, where it would terminate the process and
+/// bypass the engine's per-cell error capture.
 template <typename Result, typename Scan>
 void scan_chunks(engine::ThreadPool* pool, std::size_t count,
                  std::vector<Result>& results, Scan&& scan) {
@@ -85,34 +99,44 @@ void scan_chunks(engine::ThreadPool* pool, std::size_t count,
     scan(std::size_t{0}, std::size_t{0}, count);
     return;
   }
-  // A few chunks per worker smooths uneven candidate costs without
-  // shrinking tasks below useful granularity.
-  const std::size_t max_chunks =
-      static_cast<std::size_t>(pool->size()) * 4;
+  // A few chunks per executor smooths uneven candidate costs without
+  // shrinking tasks below useful granularity. Executors = pool workers
+  // + the caller, so chunk boundaries (and therefore per-chunk reduction
+  // results) match the pre-work-sharing layout for the same requested
+  // worker count.
+  const std::size_t executors = static_cast<std::size_t>(pool->size()) + 1;
+  const std::size_t max_chunks = executors * 4;
   const std::size_t chunks = count < max_chunks ? count : max_chunks;
   results.assign(chunks, Result{});
   std::vector<std::exception_ptr> errors(chunks);
   const std::size_t base = count / chunks;
   const std::size_t extra = count % chunks;
-  std::size_t begin = 0;
-  try {
-    for (std::size_t i = 0; i < chunks; ++i) {
+
+  std::atomic<std::size_t> cursor{0};
+  const auto drain = [&scan, &errors, &cursor, chunks, base, extra] {
+    XORIDX_SPAN("search", "scan_drain");
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks) return;
+      const std::size_t begin = i * base + std::min(i, extra);
       const std::size_t end = begin + base + (i < extra ? 1 : 0);
-      pool->submit([&scan, &errors, i, begin, end] {
-        try {
-          scan(i, begin, end);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      });
-      begin = end;
+      try {
+        scan(i, begin, end);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     }
+  };
+  try {
+    for (unsigned w = 0; w < pool->size(); ++w) pool->submit(drain);
   } catch (...) {
-    // submit itself can throw (task allocation); already-queued chunks
-    // still reference this frame, so drain them before unwinding.
+    // submit itself can throw (task allocation); already-queued drainers
+    // still reference this frame, so finish the scan before unwinding.
+    drain();
     pool->wait_idle();
     throw;
   }
+  drain();  // the caller is an executor, not a spectator
   pool->wait_idle();
   for (const std::exception_ptr& error : errors)
     if (error) std::rethrow_exception(error);

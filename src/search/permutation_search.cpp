@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "search/estimator.hpp"
 #include "search/parallel_scan.hpp"
 
@@ -38,6 +40,7 @@ struct RowScan {
 ClimbOutcome climb(const profile::ConflictProfile& profile, Matrix g, int m,
                    int max_g_column_weight, int max_iterations,
                    engine::ThreadPool* pool) {
+  XORIDX_SPAN("search", "climb_permutation");
   const int d = g.rows();  // n - m
   std::vector<Word> basis = null_basis(g, m);
   std::uint64_t current = estimate_misses_basis(profile, basis);
@@ -173,6 +176,8 @@ PermutationSearchResult search_permutation(
     if (candidate.estimate < best.estimate) best = std::move(candidate);
   }
   stats.best_estimate = best.estimate;
+  // Bulk per search: matches SearchStats::evaluations exactly.
+  XORIDX_OBS_COUNT("search.evaluations", stats.evaluations);
 
   return PermutationSearchResult{
       hash::PermutationFunction(n, m, std::move(best.g)), stats};

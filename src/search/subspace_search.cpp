@@ -4,6 +4,8 @@
 #include <random>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "search/estimator.hpp"
 #include "search/parallel_scan.hpp"
 
@@ -36,6 +38,7 @@ constexpr std::size_t coset_batch = 16;
 /// One steepest-descent run from `start`.
 ClimbOutcome climb(const profile::ConflictProfile& profile, Subspace start,
                    int max_iterations, engine::ThreadPool* pool) {
+  XORIDX_SPAN("search", "climb_general_xor");
   const int n = profile.hashed_bits();
   const int d = start.dim();
 
@@ -187,6 +190,8 @@ SubspaceSearchResult search_general_xor(
     if (candidate.estimate < best.estimate) best = std::move(candidate);
   }
   stats.best_estimate = best.estimate;
+  // Bulk per search: matches SearchStats::evaluations exactly.
+  XORIDX_OBS_COUNT("search.evaluations", stats.evaluations);
 
   hash::XorFunction fn = hash::XorFunction::from_null_space(best.space);
   return SubspaceSearchResult{std::move(fn), std::move(best.space), stats};

@@ -1,6 +1,10 @@
 #include "shard/runner.hpp"
 
+#include <cstdio>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace xoridx::shard {
 
@@ -41,7 +45,8 @@ ExplorationRequest one_cell(const ExplorationRequest& request,
 
 api::Result<Report> run_shard(const api::ExplorationRequest& request,
                               const ShardPlan& plan,
-                              std::uint32_t shard_index) {
+                              std::uint32_t shard_index,
+                              obs::ProgressReporter* reporter) {
   if (shard_index == 0 || shard_index > plan.num_shards())
     return Status(StatusCode::invalid_argument,
                   "shard index " + std::to_string(shard_index) +
@@ -83,6 +88,9 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
     sub.hashed_bits = request.hashed_bits;
     sub.num_threads = request.num_threads;
 
+    XORIDX_SPAN_NAMED(span, "shard", "trace_slice");
+    XORIDX_SPAN_DETAIL(span, request.traces[slice.trace].name());
+
     Result<api::Report> batched = api::Explorer::explore(sub);
     if (batched.ok()) {
       std::size_t row = 0;
@@ -90,21 +98,40 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
         for (std::size_t s = 0; s < strategy_count; ++s)
           report.cells.push_back(
               Cell{cell_index(g, s), std::move(batched->rows[row++])});
+      XORIDX_OBS_COUNT("shard.cells_done",
+                       slice.geometries.size() * strategy_count);
       continue;
     }
     // The batch failed mid-sweep: degrade to one cell per request so
     // every cell gets its own row or its own attributed error, in a way
-    // that does not depend on scheduling or on the shard layout.
+    // that does not depend on scheduling or on the shard layout. Partial
+    // degradation is invisible in the Report when the retries succeed,
+    // so tell the operator explicitly which trace fell back.
+    {
+      const std::string warning =
+          "trace '" + request.traces[slice.trace].name() +
+          "' batch failed (" + batched.status().message() +
+          "); degrading to one-cell requests";
+      if (reporter != nullptr) {
+        reporter->warn(warning);
+      } else {
+        std::fprintf(stderr, "[shard %u/%u] warning: %s\n", shard_index,
+                     plan.num_shards(), warning.c_str());
+      }
+    }
     for (const std::size_t g : slice.geometries) {
       for (std::size_t s = 0; s < strategy_count; ++s) {
         Result<api::Report> single =
             api::Explorer::explore(one_cell(request, slice.trace, g, s));
-        if (single.ok())
+        if (single.ok()) {
           report.cells.push_back(
               Cell{cell_index(g, s), std::move(single->rows.front())});
-        else
+        } else {
           report.cells.push_back(
               Cell{cell_index(g, s), cell_error_from(single.status())});
+          XORIDX_OBS_COUNT("shard.cell_errors", 1);
+        }
+        XORIDX_OBS_COUNT("shard.cells_done", 1);
       }
     }
   }

@@ -17,6 +17,7 @@
 
 #include "api/explorer.hpp"
 #include "api/status.hpp"
+#include "obs/progress.hpp"
 #include "shard/plan.hpp"
 #include "shard/report.hpp"
 
@@ -25,9 +26,14 @@ namespace xoridx::shard {
 /// Run the cells shard `shard_index` (1-based) of `plan` owns. The plan
 /// must have been computed from this request (the grid shape is checked
 /// here; content mismatches surface as fingerprint rejects at merge).
+/// `reporter` (optional) receives operator-facing warnings — notably
+/// when a failed trace batch degrades to one-cell requests; without one
+/// the warning goes directly to stderr. Progress and error counts tick
+/// the registry counters shard.cells_done / shard.cell_errors either
+/// way; none of this changes the returned Report.
 [[nodiscard]] api::Result<Report> run_shard(
     const api::ExplorationRequest& request, const ShardPlan& plan,
-    std::uint32_t shard_index);
+    std::uint32_t shard_index, obs::ProgressReporter* reporter = nullptr);
 
 /// The unsharded reference run: partition into one shard and run it.
 /// Unlike Explorer::explore this never fails on a failing cell — the

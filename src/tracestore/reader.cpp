@@ -1,9 +1,12 @@
 #include "tracestore/reader.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define XORIDX_HAVE_MMAP 1
@@ -167,6 +170,8 @@ std::vector<trace::Access> MmapTraceReader::decode_chunk(
   if (p != addr_end)
     throw std::runtime_error("v2 trace chunk payload length mismatch: " +
                              file_->path());
+  XORIDX_OBS_COUNT("tracestore.chunks_decoded", 1);
+  XORIDX_OBS_COUNT("tracestore.accesses_decoded", h.count);
   return out;
 }
 
@@ -180,7 +185,22 @@ void MmapTraceReader::advance_front() {
   front_.clear();
   front_pos_ = 0;
   if (inflight_.valid()) {
+#if XORIDX_OBS_ENABLED
+    // A prefetch that is not done when the consumer needs it is a stall:
+    // compute is outrunning decode. The stall duration is the wait.
+    if (inflight_.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      XORIDX_OBS_COUNT("tracestore.prefetch_stalls", 1);
+      const std::uint64_t stall_start = obs::now_ns();
+      front_ = inflight_.get();
+      XORIDX_OBS_HIST("tracestore.prefetch_stall_ns",
+                      obs::now_ns() - stall_start);
+    } else {
+      front_ = inflight_.get();
+    }
+#else
     front_ = inflight_.get();
+#endif
     inflight_count_ = 0;
   } else if (next_chunk_ < info_.chunks) {
     front_ = decode_chunk(next_chunk_++);

@@ -1,0 +1,25 @@
+// xoridx/obs.hpp — the observability surface, part of the stable public
+// surface (versioned by XORIDX_VERSION alongside xoridx/api.hpp).
+//
+// A zero-cost-when-disabled instrumentation layer over the pipeline:
+//
+//   MetricsRegistry / registry()   named counters, gauges, log2-bucket
+//                                  histograms; lock-free per-thread
+//                                  recording, aggregate on snapshot()
+//   Snapshot::write_json           machine-readable metrics (the CLI's
+//                                  --metrics-out payload, and the wire
+//                                  format the future daemon will serve)
+//   Span / write_chrome_trace      RAII timing into per-thread ring
+//                                  buffers; Chrome trace-event JSON
+//                                  (--trace-out, loadable in Perfetto)
+//   ProgressReporter               periodic progress lines + warnings
+//                                  on stderr, sampled from the registry
+//
+// Instrumentation never feeds back into computation: chosen functions,
+// estimates, reports and CSV bytes are identical with obs on, runtime-
+// disabled, or compiled out (cmake -DXORIDX_OBS=OFF strips the macros).
+#pragma once
+
+#include "obs/metrics.hpp"   // IWYU pragma: export
+#include "obs/progress.hpp"  // IWYU pragma: export
+#include "obs/span.hpp"      // IWYU pragma: export

@@ -1,0 +1,594 @@
+// Observability tests: cross-thread counter/gauge/histogram aggregation,
+// snapshot monotonicity under concurrent recording, registry reset and
+// over-capacity behaviour, span JSON well-formedness (checked with a
+// minimal JSON parser), the SearchStats::evaluations reconciliation
+// convention, the ProgressReporter surface, and the determinism
+// differentials: Explorer CSV and shard report bytes are identical with
+// instrumentation recording (metrics + tracing + a live reporter — the
+// in-process equivalent of --metrics-out/--trace-out/--progress) and
+// with recording disabled (the runtime proxy for XORIDX_OBS=OFF).
+//
+// Every expectation is valid in both build configurations: recording
+// deltas are gated on obs::compiled(), and the obs classes themselves
+// (registry, spans, reporter) always compile.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "search/bit_select_search.hpp"
+#include "search/permutation_search.hpp"
+#include "search/subspace_search.hpp"
+#include "trace/generators.hpp"
+#include "workloads/workload.hpp"
+#include "xoridx/api.hpp"
+#include "xoridx/obs.hpp"
+#include "xoridx/shard.hpp"
+
+namespace xoridx::obs {
+namespace {
+
+// ----------------------------------------------- minimal JSON validator
+//
+// Enough of RFC 8259 to reject what Perfetto or python json.load would
+// reject: balanced structure, quoted keys, legal escapes, legal number
+// syntax, nothing trailing the document.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : 0; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_++])))
+              return false;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return true;
+  }
+
+  bool members(char close, bool with_keys) {
+    skip_ws();
+    if (consume(close)) return true;
+    for (;;) {
+      skip_ws();
+      if (with_keys) {
+        if (!string()) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        skip_ws();
+      }
+      if (!value()) return false;
+      skip_ws();
+      if (consume(close)) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{':
+        ++pos_;
+        return members('}', /*with_keys=*/true);
+      case '[':
+        ++pos_;
+        return members(']', /*with_keys=*/false);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size()))
+    ++count;
+  return count;
+}
+
+/// Capture-and-read helper for FILE*-streaming components (warn lines,
+/// progress lines).
+class CaptureFile {
+ public:
+  CaptureFile() : file_(std::tmpfile()) {}
+  ~CaptureFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  [[nodiscard]] std::FILE* get() const { return file_; }
+  [[nodiscard]] std::string contents() const {
+    std::string out;
+    std::rewind(file_);
+    char buf[512];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), file_)) > 0)
+      out.append(buf, n);
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+/// Restore the global runtime switches whatever a test does to them.
+struct SwitchGuard {
+  ~SwitchGuard() {
+    set_metrics_enabled(true);
+    set_trace_enabled(false);
+  }
+};
+
+// --------------------------------------------------- registry semantics
+
+TEST(MetricsRegistry, AggregatesCountersAcrossLiveAndExitedThreads) {
+  MetricsRegistry reg;
+  const Counter counter = reg.counter("test.adds");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kAddsPerThread = 10000;
+
+  // Exited threads: their slabs must fold into the retired totals.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) counter.add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  // Plus the live calling thread.
+  counter.add(7);
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.adds"), kThreads * kAddsPerThread + 7);
+  EXPECT_EQ(snap.counter("test.unregistered"), 0u);
+
+  // Registration is idempotent: a second handle hits the same slot.
+  const Counter again = reg.counter("test.adds");
+  again.add(1);
+  EXPECT_EQ(reg.snapshot().counter("test.adds"),
+            kThreads * kAddsPerThread + 8);
+}
+
+TEST(MetricsRegistry, GaugesAreSharedLevels) {
+  MetricsRegistry reg;
+  const Gauge depth = reg.gauge("test.depth");
+  depth.add(5);
+  std::thread other([&depth] { depth.add(-2); });
+  other.join();
+  EXPECT_EQ(reg.snapshot().gauge("test.depth"), 3);
+  depth.set(-11);
+  EXPECT_EQ(reg.snapshot().gauge("test.depth"), -11);
+}
+
+TEST(MetricsRegistry, HistogramBucketsByBitWidthAndAggregatesAcrossThreads) {
+  MetricsRegistry reg;
+  const Histogram hist = reg.histogram("test.latency");
+  // bit_width buckets: 0 -> bucket 0, 1 -> 1, {2,3} -> 2, 1000 -> 10.
+  hist.record(0);
+  hist.record(1);
+  std::thread other([&hist] {
+    hist.record(2);
+    hist.record(3);
+    hist.record(1000);
+  });
+  other.join();
+
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& h = snap.histograms.front().second;
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 0u + 1 + 2 + 3 + 1000);
+  EXPECT_EQ(h.max, 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1006.0 / 5.0);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[10], 1u);
+}
+
+TEST(MetricsRegistry, SnapshotsAreMonotonicUnderConcurrentRecording) {
+  MetricsRegistry reg;
+  const Counter counter = reg.counter("test.mono");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter.add(1);
+  });
+
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t now = reg.snapshot().counter("test.mono");
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GE(reg.snapshot().counter("test.mono"), previous);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  const Counter counter = reg.counter("test.reset");
+  const Gauge gauge = reg.gauge("test.reset_gauge");
+  const Histogram hist = reg.histogram("test.reset_hist");
+  counter.add(3);
+  gauge.add(4);
+  hist.record(9);
+  reg.reset();
+
+  Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("test.reset"), 0u);
+  EXPECT_EQ(snap.gauge("test.reset_gauge"), 0);
+  ASSERT_EQ(snap.histograms.size(), 1u);  // name survives the reset
+  EXPECT_EQ(snap.histograms.front().second.count, 0u);
+
+  // Old handles keep working against the post-reset slabs.
+  counter.add(2);
+  EXPECT_EQ(reg.snapshot().counter("test.reset"), 2u);
+}
+
+TEST(MetricsRegistry, OverCapacityRegistrationYieldsInertHandles) {
+  MetricsRegistry reg;
+  std::vector<Gauge> gauges;
+  for (std::uint32_t i = 0; i <= max_gauges; ++i)
+    gauges.push_back(reg.gauge("test.g" + std::to_string(i)));
+  gauges.back().add(42);  // over capacity: dropped, never crashes
+  const Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.gauges.size(), max_gauges);
+  EXPECT_EQ(snap.gauge("test.g" + std::to_string(max_gauges)), 0);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("test.a\"quoted\\name").add(1);
+  reg.gauge("test.gauge").add(-3);
+  reg.histogram("test.hist").record(17);
+  std::ostringstream os;
+  reg.snapshot().write_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"xoridx\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- spans
+
+TEST(Span, ChromeTraceJsonIsWellFormedAndEscaped) {
+  SwitchGuard guard;
+  clear_spans();
+  set_trace_enabled(true);
+  {
+    Span outer("test", "outer");
+    outer.detail("quote \" backslash \\ newline \n control \x01 done");
+    std::thread worker([] { Span inner("test", "worker_span"); });
+    worker.join();
+    { Span sibling("test", "sibling"); }
+  }
+  set_trace_enabled(false);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // One complete event per span, on two distinct tids.
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 3u);
+  EXPECT_NE(json.find("\"worker_span\""), std::string::npos);
+  EXPECT_EQ(spans_dropped(), 0u);
+  clear_spans();
+}
+
+TEST(Span, RecordsNothingWhenTracingDisabled) {
+  SwitchGuard guard;
+  clear_spans();
+  set_trace_enabled(false);
+  { Span ignored("test", "ignored"); }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 0u);
+}
+
+// ------------------------------------- evaluations convention reconciled
+
+TEST(Instrumentation, SearchEvaluationsCounterMatchesSearchStats) {
+  SwitchGuard guard;
+  set_metrics_enabled(true);
+  const trace::Trace t = trace::random_trace(0, 300, 4, 5000, 21);
+  const cache::CacheGeometry geom(1024, 4);
+  const profile::ConflictProfile profile =
+      profile::build_conflict_profile(t, geom, 12);
+
+  const std::uint64_t before =
+      registry().snapshot().counter("search.evaluations");
+
+  std::uint64_t stats_total = 0;
+  stats_total +=
+      search::search_permutation(profile, geom.index_bits()).stats.evaluations;
+  search::SearchOptions limited;
+  limited.max_fan_in = 2;
+  stats_total += search::search_permutation(profile, geom.index_bits(), limited)
+                     .stats.evaluations;
+  stats_total +=
+      search::search_general_xor(profile, geom.index_bits()).stats.evaluations;
+  stats_total +=
+      search::search_bit_select(profile, geom.index_bits()).stats.evaluations;
+
+  const std::uint64_t after =
+      registry().snapshot().counter("search.evaluations");
+  EXPECT_GT(stats_total, 0u);
+  // The bulk-counting convention: the obs counter advances by exactly the
+  // SearchStats::evaluations each entry point reports — in an OBS=OFF
+  // build it does not advance at all.
+  EXPECT_EQ(after - before, compiled() ? stats_total : 0u);
+}
+
+// --------------------------------------------------- progress reporter
+
+TEST(ProgressReporter, WarnsIndependentlyOfRegistryState) {
+  SwitchGuard guard;
+  set_metrics_enabled(false);  // warn() must not care
+  CaptureFile capture;
+  ProgressReporter reporter({.done_counter = "test.none",
+                             .label = "unit",
+                             .stream = capture.get()});
+  reporter.warn("something degraded");
+  const std::string out = capture.contents();
+  EXPECT_NE(out.find("[unit] warning: something degraded"),
+            std::string::npos);
+}
+
+TEST(ProgressReporter, EmitsFinalLineWithTotalsAndCacheRate) {
+  if (!compiled()) GTEST_SKIP() << "no counters to sample under OBS=OFF";
+  SwitchGuard guard;
+  set_metrics_enabled(true);
+  registry().counter("obs_test.progress.done").add(5);
+  CaptureFile capture;
+  ProgressReporter reporter({.done_counter = "obs_test.progress.done",
+                             .total = 5,
+                             .label = "unit",
+                             .interval_s = 0.05,
+                             .stream = capture.get()});
+  reporter.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  reporter.stop();
+  const std::string out = capture.contents();
+  EXPECT_NE(out.find("[unit] 5/5 cells (100.0%)"), std::string::npos) << out;
+  EXPECT_NE(out.find("done in"), std::string::npos) << out;
+}
+
+// -------------------------------- shard degradation warning (satellite)
+
+class ExplodingSource final : public tracestore::TraceSource {
+ public:
+  std::size_t next_batch(std::span<trace::Access>) override {
+    throw std::runtime_error("simulated remote fetch failure");
+  }
+  void reset() override {}
+  [[nodiscard]] std::uint64_t size() const override { return 64; }
+};
+
+api::ExplorationRequest exploding_request() {
+  api::ExplorationRequest request;
+  tracestore::TraceId fake_id;
+  fake_id.lo = 0xdead;
+  fake_id.hi = 0xbeef;
+  request.traces.push_back(api::TraceRef::source(
+      "exploding", [] { return std::make_unique<ExplodingSource>(); },
+      fake_id));
+  request.geometries = {api::GeometrySpec(1024, 4)};
+  request.strategies = api::parse_strategies("base,perm:2").value();
+  return request;
+}
+
+TEST(ShardRunner, BatchDegradationWarnsThroughReporterNamingTheTrace) {
+  SwitchGuard guard;
+  set_metrics_enabled(true);
+  const api::ExplorationRequest request = exploding_request();
+  const auto plan = shard::ShardPlan::partition(request, 1);
+  ASSERT_TRUE(plan.ok());
+
+  const Snapshot before = registry().snapshot();
+  CaptureFile capture;
+  ProgressReporter reporter({.done_counter = "shard.cells_done",
+                             .error_counter = "shard.cell_errors",
+                             .label = "unit",
+                             .stream = capture.get()});
+  const auto report = shard::run_shard(request, *plan, 1, &reporter);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->error_count(), 2u);
+
+  const std::string out = capture.contents();
+  EXPECT_NE(out.find("warning"), std::string::npos) << out;
+  EXPECT_NE(out.find("'exploding'"), std::string::npos) << out;
+  EXPECT_NE(out.find("degrading to one-cell requests"), std::string::npos)
+      << out;
+
+  const Snapshot after = registry().snapshot();
+  const std::uint64_t done =
+      after.counter("shard.cells_done") - before.counter("shard.cells_done");
+  const std::uint64_t errors = after.counter("shard.cell_errors") -
+                               before.counter("shard.cell_errors");
+  EXPECT_EQ(done, compiled() ? 2u : 0u);
+  EXPECT_EQ(errors, compiled() ? 2u : 0u);
+}
+
+// -------------------------------------------- determinism differentials
+
+api::ExplorationRequest table2_small_request() {
+  api::ExplorationRequest request;
+  request.hashed_bits = 16;
+  request.num_threads = 1;
+  for (const std::string& name :
+       workloads::workload_names(workloads::Suite::table2)) {
+    workloads::Workload w =
+        workloads::make_workload(name, workloads::Scale::small);
+    request.traces.push_back(api::TraceRef::memory(w.name, std::move(w.data)));
+  }
+  request.geometries = {api::GeometrySpec(1024, 4), api::GeometrySpec(4096, 4)};
+  request.strategies = api::parse_strategies("base,perm:2,perm").value();
+  return request;
+}
+
+std::string explore_csv(const api::ExplorationRequest& base) {
+  api::ExplorationRequest request = base;
+  std::ostringstream os;
+  api::CsvSink sink(os);
+  request.sink = &sink;
+  const auto report = api::Explorer::explore(request);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  return os.str();
+}
+
+TEST(Differential, ExplorerCsvBytesIdenticalWithObsOnAndOff) {
+  SwitchGuard guard;
+  const api::ExplorationRequest request = table2_small_request();
+
+  // Arm 1: everything on — metrics recording, span tracing, and a live
+  // sampling reporter; then actually produce the --metrics-out /
+  // --trace-out documents so their serialization runs too.
+  set_metrics_enabled(true);
+  set_trace_enabled(true);
+  clear_spans();
+  CaptureFile progress;
+  ProgressReporter reporter({.done_counter = "engine.jobs_completed",
+                             .label = "unit",
+                             .interval_s = 0.05,
+                             .stream = progress.get()});
+  reporter.start();
+  const std::string csv_on = explore_csv(request);
+  reporter.stop();
+  set_trace_enabled(false);
+  std::ostringstream metrics_json, trace_json;
+  registry().snapshot().write_json(metrics_json);
+  write_chrome_trace(trace_json);
+  EXPECT_TRUE(JsonChecker(metrics_json.str()).valid());
+  EXPECT_TRUE(JsonChecker(trace_json.str()).valid());
+  clear_spans();
+
+  // Arm 2: recording disabled — the runtime stand-in for XORIDX_OBS=OFF.
+  set_metrics_enabled(false);
+  const std::string csv_off = explore_csv(request);
+
+  EXPECT_GT(csv_on.size(), 0u);
+  EXPECT_EQ(csv_on, csv_off);
+}
+
+TEST(Differential, ShardReportBytesIdenticalWithObsOnAndOff) {
+  SwitchGuard guard;
+  api::ExplorationRequest request;
+  request.traces.push_back(
+      api::TraceRef::memory("stride", trace::stride_trace(0, 4096, 300)));
+  request.traces.push_back(api::TraceRef::memory(
+      "random", trace::random_trace(0, 400, 4, 6000, 33)));
+  request.geometries = {api::GeometrySpec(1024, 4), api::GeometrySpec(2048, 4)};
+  request.strategies = api::parse_strategies("base,perm:2").value();
+
+  const auto save_bytes = [&request](const std::string& suffix) {
+    const auto report = shard::run_campaign(request);
+    EXPECT_TRUE(report.ok()) << report.status().to_string();
+    const std::string path =
+        (std::filesystem::temp_directory_path() / ("xoridx_obs_" + suffix))
+            .string();
+    EXPECT_TRUE(shard::save_report(*report, path).ok());
+    std::ifstream is(path, std::ios::binary);
+    return std::string{std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>()};
+  };
+
+  set_metrics_enabled(true);
+  set_trace_enabled(true);
+  clear_spans();
+  const std::string bytes_on = save_bytes("on.rpt");
+  set_trace_enabled(false);
+  clear_spans();
+
+  set_metrics_enabled(false);
+  const std::string bytes_off = save_bytes("off.rpt");
+
+  EXPECT_GT(bytes_on.size(), 0u);
+  EXPECT_EQ(bytes_on, bytes_off);
+}
+
+}  // namespace
+}  // namespace xoridx::obs
