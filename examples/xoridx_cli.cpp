@@ -23,10 +23,17 @@
 //       shard computes the same partition from the same arguments), and
 //       --report-out saves the cells as a mergeable shard report.
 //   xoridx_cli merge <shard.rpt>... [--out merged.rpt] [--csv file|-]
+//           [--fleet-metrics-out m.prom]
 //       Merge shard reports back into the unsharded campaign report;
 //       the merged CSV is byte-identical to a single-process run.
+//       --fleet-metrics-out writes the aggregated fleet snapshot
+//       (counters summed, gauges max'd across shards) as OpenMetrics.
+//   xoridx_cli trace-merge <spans.json>... [--out merged.json]
+//       Stitch per-shard --trace-out files into one Perfetto-loadable
+//       timeline with one named process track per input.
 //   xoridx_cli report info <file>
-//       Print a shard report's header and failing cells.
+//       Print a shard report's header, observability section and
+//       failing cells.
 //   xoridx_cli report csv <file> [out]
 //       Render a shard report's rows as CSV.
 //   xoridx_cli trace convert <in> <out> [--to v1|v2] [--chunk N]
@@ -46,6 +53,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "hash/serialize.hpp"
 #include "trace/trace_io.hpp"
@@ -76,12 +85,17 @@ int usage() {
                "      [--trace file.bin]... [--mmap] [--small] [--out file]\n"
                "      [--shard i/N] [--report-out file]\n"
                "      [--metrics-out m.json] [--trace-out spans.json] "
-               "[--progress]\n"
+               "[--progress[=ms]]\n"
                "    strategy specs: %s\n"
                "      (legacy aliases: classify general opt opt-est "
                "perm:<fan_in>)\n"
+               "    with --report-out, a crash dumps the flight recorder "
+               "to <report>.crash\n"
                "  xoridx_cli merge <shard.rpt>... [--out merged.rpt] "
                "[--csv file|-]\n"
+               "      [--fleet-metrics-out m.prom]\n"
+               "  xoridx_cli trace-merge <spans.json>... "
+               "[--out merged.json]\n"
                "  xoridx_cli report info <file>\n"
                "  xoridx_cli report csv <file> [out]\n"
                "  xoridx_cli trace convert <in> <out> [--to v1|v2] "
@@ -283,6 +297,7 @@ int cmd_engine(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   bool progress = false;
+  double progress_interval_s = 1.0;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -339,6 +354,19 @@ int cmd_engine(int argc, char** argv) {
       trace_out = v;
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      progress = true;
+      const std::string token = arg.substr(std::strlen("--progress="));
+      char* end = nullptr;
+      const long ms = std::strtol(token.c_str(), &end, 10);
+      if (token.empty() || end == nullptr || *end != '\0' || ms <= 0) {
+        std::fprintf(stderr,
+                     "error: --progress wants a positive sample interval "
+                     "in milliseconds, got '%s'\n",
+                     token.c_str());
+        return 2;
+      }
+      progress_interval_s = static_cast<double>(ms) / 1000.0;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage();
@@ -433,10 +461,25 @@ int cmd_engine(int argc, char** argv) {
                  static_cast<unsigned long long>(owned),
                  static_cast<unsigned long long>(plan->total_cells()),
                  plan->estimated_cost(shard_ref.index));
-    obs::ProgressReporter reporter({.done_counter = "shard.cells_done",
-                                    .error_counter = "shard.cell_errors",
-                                    .total = owned,
-                                    .label = "engine"});
+    // Label this worker's track so N per-shard --trace-out files remain
+    // distinguishable after trace-merge; arm the flight recorder so a
+    // crashed worker leaves <report>.crash next to where its report
+    // would have landed.
+    if (!trace_out.empty())
+      obs::set_trace_process(static_cast<std::uint32_t>(::getpid()),
+                             "shard " + shard_ref.to_string());
+    if (!report_out.empty())
+      obs::install_flight_recorder(report_out + ".crash");
+    obs::ProgressReporter reporter(
+        {.done_counter = "shard.cells_done",
+         .error_counter = "shard.cell_errors",
+         .total = owned,
+         .label = "engine",
+         .interval_s = progress_interval_s,
+         // Watchdog: a shard that stops completing cells for ~10 sample
+         // windows (at least 30s) is probably wedged — warn, naming the
+         // cell run_shard last reported via set_activity.
+         .stall_warn_s = std::max(30.0, 10.0 * progress_interval_s)});
     if (progress) reporter.start();
     const api::Result<shard::Report> report =
         shard::run_shard(request, *plan, shard_ref.index, &reporter);
@@ -475,7 +518,8 @@ int cmd_engine(int argc, char** argv) {
       {.done_counter = "engine.jobs_completed",
        .error_counter = {},
        .total = static_cast<std::uint64_t>(request.job_count()),
-       .label = "engine"});
+       .label = "engine",
+       .interval_s = progress_interval_s});
   if (progress) reporter.start();
   const api::Result<api::Report> report = api::Explorer::explore(request);
   reporter.stop();
@@ -490,14 +534,17 @@ int cmd_merge(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string out_path;
   std::string csv_path;
+  std::string fleet_metrics_out;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--out" || arg == "--csv") {
+    if (arg == "--out" || arg == "--csv" || arg == "--fleet-metrics-out") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "option %s needs a value\n", arg.c_str());
         return usage();
       }
-      (arg == "--out" ? out_path : csv_path) = argv[++i];
+      (arg == "--out"   ? out_path
+       : arg == "--csv" ? csv_path
+                        : fleet_metrics_out) = argv[++i];
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage();
@@ -535,10 +582,75 @@ int cmd_merge(int argc, char** argv) {
     }
     merged->write_csv(to_stdout ? std::cout : file_out);
   }
+  if (!fleet_metrics_out.empty()) {
+    std::ofstream os(fleet_metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", fleet_metrics_out.c_str());
+      return 1;
+    }
+    if (merged->obs.has_value()) {
+      merged->obs->snapshot.write_openmetrics(os);
+    } else {
+      // Still a valid (empty) exposition, so downstream scrapers parse.
+      obs::Snapshot{}.write_openmetrics(os);
+      std::fprintf(stderr,
+                   "[merge] warning: no shard carried an observability "
+                   "section (v1 reports or obs-off workers); fleet metrics "
+                   "are empty\n");
+    }
+  }
   std::fprintf(stderr,
                "[merge] %zu shards -> %zu cells (%zu failed), request %s\n",
                inputs.size(), merged->cells.size(), merged->error_count(),
                merged->fingerprint.to_string().c_str());
+  if (merged->obs.has_value())
+    std::fprintf(stderr,
+                 "[merge] fleet: makespan %.3fs, peak worker rss %.1f MiB, "
+                 "%zu counters aggregated\n",
+                 static_cast<double>(merged->obs->wall_ns) * 1e-9,
+                 static_cast<double>(merged->obs->peak_rss_bytes) /
+                     (1024.0 * 1024.0),
+                 merged->obs->snapshot.counters.size());
+  return 0;
+}
+
+int cmd_trace_merge(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option %s needs a value\n", arg.c_str());
+        return usage();
+      }
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::ofstream file_out;
+  const bool to_stdout = out_path.empty() || out_path == "-";
+  if (!to_stdout) {
+    file_out.open(out_path);
+    if (!file_out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  if (const api::Status merged = obs::merge_chrome_traces(
+          inputs, to_stdout ? std::cout : file_out);
+      !merged.ok())
+    return fail(merged);
+  std::fprintf(stderr,
+               "[trace-merge] %zu traces stitched (one process track "
+               "each)%s%s\n",
+               inputs.size(), to_stdout ? "" : " -> ", out_path.c_str());
   return 0;
 }
 
@@ -547,7 +659,9 @@ int cmd_report_info(int argc, char** argv) {
   const api::Result<shard::Report> loaded = shard::load_report(argv[3]);
   if (!loaded.ok()) return fail(loaded.status());
   const shard::Report& r = *loaded;
-  std::printf("format          shard report v%u\n",
+  std::printf("format          shard report v%u (this build reads v%u-v%u)\n",
+              static_cast<unsigned>(r.read_format),
+              static_cast<unsigned>(shard::min_report_format_version),
               static_cast<unsigned>(shard::report_format_version));
   std::printf("written by      xoridx %d.%d.%d\n", r.written_by.major,
               r.written_by.minor, r.written_by.patch);
@@ -559,6 +673,27 @@ int cmd_report_info(int argc, char** argv) {
               static_cast<unsigned long long>(r.total_cells));
   std::printf("cells carried   %zu in %zu ranges, %zu failed\n",
               r.cells.size(), r.ranges.size(), r.error_count());
+  if (r.obs.has_value()) {
+    const shard::ObsSection& obs_section = *r.obs;
+    std::printf("observability   wall %.3fs, peak rss %.1f MiB (fleet "
+                "aggregate when merged)\n",
+                static_cast<double>(obs_section.wall_ns) * 1e-9,
+                static_cast<double>(obs_section.peak_rss_bytes) /
+                    (1024.0 * 1024.0));
+    for (const auto& [name, value] : obs_section.snapshot.counters)
+      std::printf("  counter %-26s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    for (const auto& [name, value] : obs_section.snapshot.gauges)
+      std::printf("  gauge   %-26s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    for (const auto& [name, hist] : obs_section.snapshot.histograms)
+      std::printf("  hist    %-26s count %llu, mean %.0f, max %llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(hist.count), hist.mean(),
+                  static_cast<unsigned long long>(hist.max));
+  } else {
+    std::printf("observability   (none: v1 file or obs-off worker)\n");
+  }
   for (const shard::Cell& cell : r.cells)
     if (!cell.ok())
       std::printf("  cell %llu failed: %s: %s\n",
@@ -675,6 +810,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "engine") return cmd_engine(argc, argv);
     if (command == "merge") return cmd_merge(argc, argv);
+    if (command == "trace-merge") return cmd_trace_merge(argc, argv);
     if (command == "report") return cmd_report(argc, argv);
     if (command == "trace") return cmd_trace(argc, argv);
   } catch (const std::exception& e) {

@@ -6,9 +6,9 @@
 #pragma once
 
 #define XORIDX_VERSION_MAJOR 0
-#define XORIDX_VERSION_MINOR 6
+#define XORIDX_VERSION_MINOR 7
 #define XORIDX_VERSION_PATCH 0
-#define XORIDX_VERSION "0.6.0"
+#define XORIDX_VERSION "0.7.0"
 
 namespace xoridx::api {
 

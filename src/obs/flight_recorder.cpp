@@ -1,0 +1,229 @@
+#include "obs/flight_recorder.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+
+namespace xoridx::obs {
+namespace {
+
+// ----------------------------------------------------------- flight ring
+
+struct FlightEntry {
+  std::atomic<const char*> category{nullptr};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+};
+
+FlightEntry g_ring[flight_ring_capacity];
+std::atomic<std::uint64_t> g_ring_cursor{0};
+std::atomic<bool> g_armed{false};
+
+// ------------------------------------- pre-serialized handler material
+//
+// The handler may not allocate, lock or call snprintf, so everything
+// variable-length is formatted ahead of time: the dump path at install,
+// the counter totals continuously by the sampler into whichever of the
+// two buffers is not published.
+
+char g_crash_path[1024] = {0};
+
+constexpr std::size_t counters_buffer_size = 16384;
+char g_counters_text[2][counters_buffer_size];
+std::atomic<std::uint32_t> g_counters_len[2] = {{0}, {0}};
+std::atomic<std::uint32_t> g_published{0};
+
+struct sigaction g_prev_segv;
+struct sigaction g_prev_abrt;
+
+// ------------------------------------------------------- sampler thread
+
+std::mutex g_control_mutex;  ///< guards install/uninstall + sampler state
+std::thread g_sampler;
+std::mutex g_sampler_mutex;
+std::condition_variable g_sampler_cv;
+bool g_sampler_stop = false;
+
+void sample_counters() {
+  const Snapshot snap = registry().snapshot();
+  std::string text;
+  for (const auto& [name, value] : snap.counters) {
+    text += "  " + name + " " + std::to_string(value) + "\n";
+  }
+  const std::uint32_t inactive =
+      1 - g_published.load(std::memory_order_relaxed);
+  const std::size_t n = std::min(text.size(), counters_buffer_size);
+  std::memcpy(g_counters_text[inactive], text.data(), n);
+  g_counters_len[inactive].store(static_cast<std::uint32_t>(n),
+                                 std::memory_order_release);
+  g_published.store(inactive, std::memory_order_release);
+}
+
+void sampler_main() {
+  std::unique_lock<std::mutex> lock(g_sampler_mutex);
+  while (!g_sampler_stop) {
+    lock.unlock();
+    sample_counters();
+    lock.lock();
+    g_sampler_cv.wait_for(lock, std::chrono::milliseconds(250),
+                          [] { return g_sampler_stop; });
+  }
+}
+
+// -------------------------------------------------------- crash handler
+
+void write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w <= 0) return;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void write_str(int fd, const char* s) { write_all(fd, s, std::strlen(s)); }
+
+void write_u64(int fd, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  char out[20];
+  for (std::size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  write_all(fd, out, n);
+}
+
+void crash_handler(int sig) {
+  if (g_crash_path[0] != 0) {
+    const int fd =
+        ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      write_str(fd, "xoridx flight recorder crash dump\nsignal: ");
+      if (sig == SIGSEGV) {
+        write_str(fd, "SIGSEGV");
+      } else if (sig == SIGABRT) {
+        write_str(fd, "SIGABRT");
+      } else {
+        write_str(fd, "signal ");
+        write_u64(fd, static_cast<std::uint64_t>(sig));
+      }
+      write_str(fd, "\n\ncounter totals (last sample before crash):\n");
+      const std::uint32_t pub = g_published.load(std::memory_order_acquire);
+      const std::uint32_t len =
+          g_counters_len[pub].load(std::memory_order_acquire);
+      if (len > 0) {
+        write_all(fd, g_counters_text[pub], len);
+      } else {
+        write_str(fd, "  (none sampled)\n");
+      }
+      write_str(fd, "\nrecent spans (oldest first, steady-clock ns):\n");
+      const std::uint64_t cursor =
+          g_ring_cursor.load(std::memory_order_relaxed);
+      const std::uint64_t count =
+          cursor < flight_ring_capacity ? cursor : flight_ring_capacity;
+      bool any = false;
+      for (std::uint64_t i = cursor - count; i < cursor; ++i) {
+        const FlightEntry& e = g_ring[i % flight_ring_capacity];
+        const char* category = e.category.load(std::memory_order_relaxed);
+        const char* name = e.name.load(std::memory_order_relaxed);
+        if (name == nullptr) continue;
+        any = true;
+        write_str(fd, "  ");
+        write_str(fd, category == nullptr ? "?" : category);
+        write_str(fd, "/");
+        write_str(fd, name);
+        write_str(fd, " start=");
+        write_u64(fd, e.start_ns.load(std::memory_order_relaxed));
+        write_str(fd, " dur=");
+        write_u64(fd, e.dur_ns.load(std::memory_order_relaxed));
+        write_str(fd, "\n");
+      }
+      if (!any) write_str(fd, "  (none)\n");
+      write_str(fd, "\nend of crash dump\n");
+      ::close(fd);
+    }
+  }
+  // Re-raise with the default disposition so exit status / core dumps are
+  // what the crash would have produced without the recorder.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_flight_recorder(const std::string& crash_path) {
+  std::lock_guard<std::mutex> lock(g_control_mutex);
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "%s",
+                crash_path.c_str());
+  sample_counters();  // dump is meaningful even before the first tick
+  if (g_armed.load(std::memory_order_relaxed)) return;
+  // Disarm on normal exit: the sampler must not outlive the registry's
+  // static destruction. Registered here — after sample_counters() has
+  // constructed the registry — so this atexit hook runs before the
+  // registry's destructor. Abnormal termination skips atexit, which is
+  // exactly when the crash handler should still be armed.
+  static const bool at_exit_registered = [] {
+    return std::atexit([] { uninstall_flight_recorder(); }) == 0;
+  }();
+  (void)at_exit_registered;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGSEGV, &sa, &g_prev_segv);
+  ::sigaction(SIGABRT, &sa, &g_prev_abrt);
+  {
+    std::lock_guard<std::mutex> sampler_lock(g_sampler_mutex);
+    g_sampler_stop = false;
+  }
+  g_sampler = std::thread(sampler_main);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void uninstall_flight_recorder() {
+  std::lock_guard<std::mutex> lock(g_control_mutex);
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_armed.store(false, std::memory_order_release);
+  ::sigaction(SIGSEGV, &g_prev_segv, nullptr);
+  ::sigaction(SIGABRT, &g_prev_abrt, nullptr);
+  {
+    std::lock_guard<std::mutex> sampler_lock(g_sampler_mutex);
+    g_sampler_stop = true;
+  }
+  g_sampler_cv.notify_all();
+  if (g_sampler.joinable()) g_sampler.join();
+  g_crash_path[0] = 0;
+}
+
+bool flight_recorder_armed() noexcept {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+void flight_record(const char* category, const char* name,
+                   std::uint64_t start_ns, std::uint64_t dur_ns) noexcept {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  const std::uint64_t slot =
+      g_ring_cursor.fetch_add(1, std::memory_order_relaxed) %
+      flight_ring_capacity;
+  FlightEntry& e = g_ring[slot];
+  e.start_ns.store(start_ns, std::memory_order_relaxed);
+  e.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  e.category.store(category, std::memory_order_relaxed);
+  e.name.store(name, std::memory_order_relaxed);
+}
+
+}  // namespace xoridx::obs

@@ -1,0 +1,49 @@
+// Crash flight recorder: when armed, a SIGSEGV/SIGABRT handler dumps the
+// last completed spans and the most recent counter totals to a crash file
+// before re-raising the signal with the default disposition.
+//
+// Everything the handler touches is prepared outside the handler: the dump
+// path is a fixed char array, counter totals are pre-serialized into a
+// double-buffered text block by a background sampler thread (the handler
+// only picks the published buffer), and the span ring is a fixed array of
+// plain atomics fed by ~Span. The handler itself calls nothing but
+// open/write/close and hand-rolled integer formatting — async-signal-safe
+// by construction. The ring is best-effort: a span being recorded at the
+// instant of the crash may appear torn, which a post-mortem reader
+// tolerates.
+//
+// Compiled in both obs configurations; with XORIDX_OBS=OFF the library
+// never starts spans, so an armed recorder dumps headers and whatever the
+// caller recorded explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace xoridx::obs {
+
+/// Completed spans retained for the crash dump (newest overwrite oldest).
+inline constexpr std::size_t flight_ring_capacity = 256;
+
+/// Arm the recorder: remember `crash_path`, install SIGSEGV/SIGABRT
+/// handlers (saving the previous dispositions), start the counter
+/// sampler, and begin feeding completed spans into the flight ring.
+/// Re-installing while armed just swaps the dump path. Thread-safe.
+void install_flight_recorder(const std::string& crash_path);
+
+/// Disarm: restore the saved signal dispositions and stop the sampler.
+void uninstall_flight_recorder();
+
+/// True between install and uninstall. Checked by Span construction, so
+/// spans are timed (and recorded into the ring) even when tracing is off.
+[[nodiscard]] bool flight_recorder_armed() noexcept;
+
+/// Record one completed span into the flight ring. `category` and `name`
+/// must point at storage that outlives any crash (string literals — the
+/// ring stores the pointers, the handler write()s them). Called by ~Span
+/// when armed; exposed for tests and non-span instrumentation.
+void flight_record(const char* category, const char* name,
+                   std::uint64_t start_ns, std::uint64_t dur_ns) noexcept;
+
+}  // namespace xoridx::obs

@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 
 #include "api/version.hpp"
 
@@ -277,6 +278,36 @@ std::int64_t Snapshot::gauge(const std::string& name) const {
   for (const auto& [n, v] : gauges)
     if (n == name) return v;
   return 0;
+}
+
+void Snapshot::aggregate(const Snapshot& other) {
+  // Each series is sorted by name (snapshot() and serialization both
+  // preserve that), so a sorted merge keeps the union ordered without
+  // intermediate maps.
+  const auto merge = [](auto& into, const auto& from, const auto& fold) {
+    auto it = into.begin();
+    for (const auto& entry : from) {
+      while (it != into.end() && it->first < entry.first) ++it;
+      if (it != into.end() && it->first == entry.first) {
+        fold(it->second, entry.second);
+        ++it;
+      } else {
+        it = std::next(into.insert(it, entry));
+      }
+    }
+  };
+  merge(counters, other.counters,
+        [](std::uint64_t& a, std::uint64_t b) { a += b; });
+  merge(gauges, other.gauges,
+        [](std::int64_t& a, std::int64_t b) { a = std::max(a, b); });
+  merge(histograms, other.histograms,
+        [](HistogramSnapshot& a, const HistogramSnapshot& b) {
+          for (std::uint32_t i = 0; i < histogram_buckets; ++i)
+            a.buckets[i] += b.buckets[i];
+          a.sum += b.sum;
+          a.count += b.count;
+          a.max = std::max(a.max, b.max);
+        });
 }
 
 void Snapshot::write_json(std::ostream& os) const {

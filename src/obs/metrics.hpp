@@ -77,6 +77,9 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
 };
 
 /// Point-in-time aggregation of a registry, ordered by name (the JSON
@@ -93,6 +96,23 @@ struct Snapshot {
 
   /// One JSON document: {"xoridx": <version>, "metrics": [...]}.
   void write_json(std::ostream& os) const;
+
+  /// OpenMetrics / Prometheus text exposition: counters as `<name>_total`,
+  /// gauges plain, log2 histograms as cumulative `_bucket{le="..."}` series
+  /// ending in `+Inf` plus `_sum`/`_count`, terminated by `# EOF`. Metric
+  /// names are prefixed `xoridx_` with non-alphanumerics mapped to `_`.
+  /// This document's shape is frozen: it is what the future `xoridx serve`
+  /// daemon's /metrics endpoint returns. Implemented in obs/export.cpp.
+  void write_openmetrics(std::ostream& os) const;
+
+  /// Fold another snapshot into this one with fleet semantics: counters
+  /// and histogram buckets/sums/counts are added, gauges and histogram
+  /// maxima take the maximum. Metric name sets are unioned; ordering by
+  /// name is preserved. This is how merge_reports builds the fleet
+  /// snapshot out of per-shard snapshots.
+  void aggregate(const Snapshot& other);
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
 };
 
 /// Handle to a registered counter; value semantics, safe to copy into

@@ -17,6 +17,8 @@ void ProgressReporter::start() {
   started_ = true;
   stopping_ = false;
   start_ns_ = now_ns();
+  stall_last_done_ = 0;
+  stall_since_ns_ = start_ns_;
   thread_ = std::thread([this] { run(); });
 }
 
@@ -40,6 +42,11 @@ void ProgressReporter::warn(const std::string& message) {
   std::fflush(out);
 }
 
+void ProgressReporter::set_activity(std::string activity) {
+  std::lock_guard lock(mutex_);
+  activity_ = std::move(activity);
+}
+
 void ProgressReporter::run() {
   const auto interval = std::chrono::duration<double>(
       std::max(options_.interval_s, 0.05));
@@ -48,8 +55,36 @@ void ProgressReporter::run() {
     if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
     lock.unlock();
     print_line(/*final_line=*/false);
+    check_stall();
     lock.lock();
   }
+}
+
+void ProgressReporter::check_stall() {
+  if (options_.stall_warn_s <= 0.0) return;
+  const std::uint64_t done =
+      registry().snapshot().counter(options_.done_counter);
+  const std::uint64_t now = now_ns();
+  if (done != stall_last_done_) {
+    stall_last_done_ = done;
+    stall_since_ns_ = now;
+    return;
+  }
+  const double stalled_s =
+      static_cast<double>(now - stall_since_ns_) * 1e-9;
+  if (stalled_s < options_.stall_warn_s) return;
+  std::string activity;
+  {
+    std::lock_guard lock(mutex_);
+    activity = activity_;
+  }
+  char msg[512];
+  std::snprintf(msg, sizeof(msg),
+                "no %s progress for %.1fs%s%s%s", options_.done_counter.c_str(),
+                stalled_s, activity.empty() ? "" : " (stalled on ",
+                activity.c_str(), activity.empty() ? "" : ")");
+  warn(msg);
+  stall_since_ns_ = now;  // re-warn only after another full window
 }
 
 void ProgressReporter::print_line(bool final_line) {

@@ -30,6 +30,12 @@ class ProgressReporter {
     std::uint64_t total = 0;    ///< expected final done count (0: unknown)
     std::string label = "xoridx";
     double interval_s = 1.0;
+    /// Watchdog: warn when done_counter makes no progress for this many
+    /// seconds (0 disables). The warning names the last activity set via
+    /// set_activity() so a wedged shard says *which cell* it is stuck on.
+    /// Checked once per interval, so stalls shorter than interval_s go
+    /// unnoticed; re-warns after each further full stall window.
+    double stall_warn_s = 0.0;
     std::FILE* stream = nullptr;  ///< nullptr means stderr
   };
 
@@ -52,9 +58,15 @@ class ProgressReporter {
   /// build configuration.
   void warn(const std::string& message);
 
+  /// Name what the pipeline is currently working on ("trace 'gcc' cell
+  /// 12: 16KiB xor") for the stall watchdog's warning line. Thread-safe;
+  /// cheap enough to call per cell.
+  void set_activity(std::string activity);
+
  private:
   void run();
   void print_line(bool final_line);
+  void check_stall();
 
   Options options_;
   std::thread thread_;
@@ -64,6 +76,9 @@ class ProgressReporter {
   bool started_ = false;
   std::uint64_t start_ns_ = 0;
   std::uint64_t last_done_ = 0;  ///< whether anything was ever observed
+  std::string activity_;         ///< guarded by mutex_
+  std::uint64_t stall_last_done_ = 0;   ///< watchdog state (run thread only)
+  std::uint64_t stall_since_ns_ = 0;
 };
 
 }  // namespace xoridx::obs

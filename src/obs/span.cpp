@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"  // now_ns()
 
 namespace xoridx::obs {
@@ -14,6 +15,11 @@ namespace {
 
 std::atomic<bool> g_trace_enabled{false};
 std::atomic<std::uint64_t> g_trace_base_ns{0};
+
+/// Process identity for the trace export (set_trace_process).
+std::atomic<std::uint32_t> g_trace_pid{1};
+std::mutex g_process_label_mutex;
+std::string g_process_label;  // NOLINT: guarded by g_process_label_mutex
 
 /// Per-thread ring buffer. The owning thread is the only writer; the
 /// exporter reads `size` with acquire and sees fully-written events.
@@ -101,17 +107,24 @@ bool trace_enabled() noexcept {
   return g_trace_enabled.load(std::memory_order_relaxed);
 }
 
+void set_trace_process(std::uint32_t pid, std::string label) {
+  g_trace_pid.store(pid, std::memory_order_relaxed);
+  std::lock_guard lock(g_process_label_mutex);
+  g_process_label = std::move(label);
+}
+
 Span::Span(const char* category, const char* name) noexcept
     : category_(category), name_(name) {
-  if (trace_enabled()) {
-    active_ = true;
-    start_ns_ = now_ns();
-  }
+  active_ = trace_enabled();
+  flight_ = flight_recorder_armed();
+  if (active_ || flight_) start_ns_ = now_ns();
 }
 
 Span::~Span() {
-  if (!active_) return;
+  if (!active_ && !flight_) return;
   const std::uint64_t end = now_ns();
+  if (flight_) flight_record(category_, name_, start_ns_, end - start_ns_);
+  if (!active_) return;
   local_buffer().push(SpanEvent{category_, name_, start_ns_,
                                 end - start_ns_, std::move(detail_)});
 }
@@ -130,8 +143,18 @@ void write_chrome_trace(std::ostream& os) {
                   static_cast<unsigned long long>(ns % 1000));
     return std::string(buf);
   };
+  const std::uint32_t pid = g_trace_pid.load(std::memory_order_relaxed);
   os << "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [";
   bool first = true;
+  {
+    std::lock_guard label_lock(g_process_label_mutex);
+    if (!g_process_label.empty()) {
+      os << "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+         << pid << ", \"args\": {\"name\": \""
+         << json_escape(g_process_label) << "\"}}";
+      first = false;
+    }
+  }
   BufferList& list = buffer_list();
   std::lock_guard lock(list.mutex);
   for (const std::shared_ptr<SpanBuffer>& buf : list.buffers) {
@@ -143,7 +166,8 @@ void write_chrome_trace(std::ostream& os) {
       os << (first ? "\n" : ",\n") << "  {\"name\": \""
          << json_escape(ev.name) << "\", \"cat\": \""
          << json_escape(ev.category)
-         << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << buf->tid
+         << "\", \"ph\": \"X\", \"pid\": " << pid
+         << ", \"tid\": " << buf->tid
          << ", \"ts\": " << us(rel) << ", \"dur\": " << us(ev.dur_ns);
       if (!ev.detail.empty())
         os << ", \"args\": {\"detail\": \"" << json_escape(ev.detail)

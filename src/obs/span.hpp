@@ -34,6 +34,13 @@ inline constexpr std::size_t span_buffer_capacity = std::size_t{1} << 14;
 void set_trace_enabled(bool enabled) noexcept;
 [[nodiscard]] bool trace_enabled() noexcept;
 
+/// Label this process's track in the Chrome trace output: `pid` becomes
+/// the "pid" field of every emitted event and `label` (when non-empty)
+/// is emitted as a process_name metadata event. A sharded worker calls
+/// this with its shard identity so N per-shard --trace-out files keep
+/// distinct, named tracks through `xoridx trace-merge` and Perfetto.
+void set_trace_process(std::uint32_t pid, std::string label);
+
 /// One completed span. category/name are expected to be string literals
 /// (the recorder stores the pointers, not copies).
 struct SpanEvent {
@@ -63,6 +70,7 @@ class Span {
   std::uint64_t start_ns_ = 0;
   std::string detail_;
   bool active_ = false;
+  bool flight_ = false;  ///< also feed the crash flight recorder's ring
 };
 
 /// No-op stand-in with the same surface, used by the XORIDX_OBS=OFF

@@ -140,6 +140,81 @@ Status truncated(const Cursor& cursor) {
                     std::to_string(cursor.offset()));
 }
 
+// --------------------------------------------- obs section (format v2)
+//
+// Layout after the cells, before the checksum: u8 presence flag, then
+// wall_ns, peak_rss_bytes, and the snapshot as three length-prefixed
+// (name, payload) tables. Gauges are stored bit-cast to u64.
+
+void encode_obs(std::string& out, const ObsSection& obs) {
+  put_u64(out, obs.wall_ns);
+  put_u64(out, obs.peak_rss_bytes);
+  put_u32(out, static_cast<std::uint32_t>(obs.snapshot.counters.size()));
+  for (const auto& [name, value] : obs.snapshot.counters) {
+    put_str(out, name);
+    put_u64(out, value);
+  }
+  put_u32(out, static_cast<std::uint32_t>(obs.snapshot.gauges.size()));
+  for (const auto& [name, value] : obs.snapshot.gauges) {
+    put_str(out, name);
+    put_u64(out, static_cast<std::uint64_t>(value));
+  }
+  put_u32(out, static_cast<std::uint32_t>(obs.snapshot.histograms.size()));
+  for (const auto& [name, hist] : obs.snapshot.histograms) {
+    put_str(out, name);
+    put_u64(out, hist.count);
+    put_u64(out, hist.sum);
+    put_u64(out, hist.max);
+    for (const std::uint64_t bucket : hist.buckets) put_u64(out, bucket);
+  }
+}
+
+Result<ObsSection> decode_obs(Cursor& cursor) {
+  ObsSection obs;
+  std::uint32_t counter_count = 0;
+  if (!cursor.u64(obs.wall_ns) || !cursor.u64(obs.peak_rss_bytes) ||
+      !cursor.u32(counter_count))
+    return truncated(cursor);
+  // Minimum entry sizes bound crafted counts (see the cell_count guard).
+  if (counter_count > cursor.remaining() / 12) return truncated(cursor);
+  for (std::uint32_t i = 0; i < counter_count; ++i) {
+    auto& [name, value] = obs.snapshot.counters.emplace_back();
+    if (!cursor.str(name) || !cursor.u64(value)) return truncated(cursor);
+  }
+  std::uint32_t gauge_count = 0;
+  if (!cursor.u32(gauge_count)) return truncated(cursor);
+  if (gauge_count > cursor.remaining() / 12) return truncated(cursor);
+  for (std::uint32_t i = 0; i < gauge_count; ++i) {
+    auto& [name, value] = obs.snapshot.gauges.emplace_back();
+    std::uint64_t raw = 0;
+    if (!cursor.str(name) || !cursor.u64(raw)) return truncated(cursor);
+    value = static_cast<std::int64_t>(raw);
+  }
+  std::uint32_t hist_count = 0;
+  if (!cursor.u32(hist_count)) return truncated(cursor);
+  if (hist_count > cursor.remaining() / (4 + 8 * (3 + 32)))
+    return truncated(cursor);
+  for (std::uint32_t i = 0; i < hist_count; ++i) {
+    auto& [name, hist] = obs.snapshot.histograms.emplace_back();
+    if (!cursor.str(name) || !cursor.u64(hist.count) ||
+        !cursor.u64(hist.sum) || !cursor.u64(hist.max))
+      return truncated(cursor);
+    for (std::uint64_t& bucket : hist.buckets)
+      if (!cursor.u64(bucket)) return truncated(cursor);
+  }
+  // Snapshot::aggregate merges name-sorted vectors; re-sort rather than
+  // trust a hand-crafted file's ordering.
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(obs.snapshot.counters.begin(), obs.snapshot.counters.end(),
+            by_name);
+  std::sort(obs.snapshot.gauges.begin(), obs.snapshot.gauges.end(), by_name);
+  std::sort(obs.snapshot.histograms.begin(), obs.snapshot.histograms.end(),
+            by_name);
+  return obs;
+}
+
 Result<Cell> decode_cell(Cursor& cursor) {
   Cell cell;
   std::uint8_t tag = 0;
@@ -281,6 +356,8 @@ api::Status save_report(const Report& report, const std::string& path) {
   }
   put_u64(out, static_cast<std::uint64_t>(report.cells.size()));
   for (const Cell& cell : report.cells) encode_cell(out, cell);
+  put_u8(out, report.obs.has_value() ? 1 : 0);
+  if (report.obs.has_value()) encode_obs(out, *report.obs);
   put_u64(out, fnv1a(reinterpret_cast<const unsigned char*>(out.data()),
                      out.size()));
 
@@ -334,10 +411,11 @@ api::Result<Report> load_report(const std::string& path) {
     if (!cursor.u64(ignored)) return truncated(cursor);
   }
   if (!cursor.u16(format)) return truncated(cursor);
-  if (format != report_format_version)
+  if (format < min_report_format_version || format > report_format_version)
     return Status(StatusCode::io_error,
                   "shard report format v" + std::to_string(format) +
                       " unsupported (this build reads v" +
+                      std::to_string(min_report_format_version) + "-v" +
                       std::to_string(report_format_version) + "): " + path);
   if (fnv1a(bytes, data.size() - 8) != stored_checksum)
     return Status(StatusCode::io_error,
@@ -377,6 +455,20 @@ api::Result<Report> load_report(const std::string& path) {
     Result<Cell> cell = decode_cell(cursor);
     if (!cell.ok()) return cell.status();
     report.cells.push_back(std::move(*cell));
+  }
+  report.read_format = format;
+  if (format >= 2) {
+    std::uint8_t has_obs = 0;
+    if (!cursor.u8(has_obs)) return truncated(cursor);
+    if (has_obs > 1)
+      return Status(StatusCode::io_error,
+                    "shard report obs flag has unknown value " +
+                        std::to_string(has_obs) + ": " + path);
+    if (has_obs == 1) {
+      Result<ObsSection> obs = decode_obs(cursor);
+      if (!obs.ok()) return obs.status();
+      report.obs = std::move(*obs);
+    }
   }
   if (cursor.remaining() != 0)
     return Status(StatusCode::io_error,
@@ -486,6 +578,24 @@ api::Result<Report> merge_reports(std::vector<Report> shards) {
     for (Cell& cell : shard.cells) merged.cells.push_back(std::move(cell));
   std::sort(merged.cells.begin(), merged.cells.end(),
             [](const Cell& a, const Cell& b) { return a.index < b.index; });
+
+  // Fleet observability: fold the shard sections that exist. A shard
+  // without one — a v1-format file or an obs-off worker — merges fine
+  // and just contributes nothing. Sum/max/union are commutative, so the
+  // result is independent of shard order.
+  std::optional<ObsSection> fleet;
+  for (const Report& shard : shards) {
+    if (!shard.obs.has_value()) continue;
+    if (!fleet.has_value()) {
+      fleet = *shard.obs;
+      continue;
+    }
+    fleet->wall_ns = std::max(fleet->wall_ns, shard.obs->wall_ns);
+    fleet->peak_rss_bytes =
+        std::max(fleet->peak_rss_bytes, shard.obs->peak_rss_bytes);
+    fleet->snapshot.aggregate(shard.obs->snapshot);
+  }
+  merged.obs = std::move(fleet);
   return merged;
 }
 

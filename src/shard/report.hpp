@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -25,13 +26,18 @@
 #include "api/status.hpp"
 #include "api/version.hpp"
 #include "engine/job.hpp"
+#include "obs/metrics.hpp"
 #include "shard/plan.hpp"
 
 namespace xoridx::shard {
 
-/// On-disk format version of report files (bumped on incompatible layout
-/// changes; readers reject other versions with a descriptive Status).
-inline constexpr std::uint16_t report_format_version = 1;
+/// On-disk format version of report files. v2 appended the optional
+/// observability section; writers emit the current version, readers
+/// accept [min_report_format_version, report_format_version] (a v1 file
+/// simply carries no obs section) and reject anything newer with a
+/// descriptive Status.
+inline constexpr std::uint16_t report_format_version = 2;
+inline constexpr std::uint16_t min_report_format_version = 1;
 
 /// A cell that failed: the Status the campaign surfaced for it, with the
 /// failing (trace, geometry, strategy) attribution preserved.
@@ -62,6 +68,21 @@ struct Cell {
   friend bool operator==(const Cell&, const Cell&) = default;
 };
 
+/// Optional observability section (format v2+): the worker process's
+/// final metrics snapshot plus wall time and peak RSS. Telemetry only —
+/// it never affects cell content or CSV bytes, and Report equality
+/// ignores it. In a merged report it is the fleet aggregate: counters
+/// and histogram buckets summed across shards, gauges and histogram
+/// maxima max'd, wall time and peak RSS max'd (fleet makespan / worst
+/// worker).
+struct ObsSection {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  obs::Snapshot snapshot;
+
+  friend bool operator==(const ObsSection&, const ObsSection&) = default;
+};
+
 struct Report {
   Fingerprint fingerprint;
   api::Version written_by = api::version();
@@ -73,6 +94,13 @@ struct Report {
   std::uint32_t strategy_count = 0;
   std::vector<CellRange> ranges;  ///< sorted, coalesced, non-overlapping
   std::vector<Cell> cells;        ///< ascending by index, one per covered cell
+  /// Absent for v1 files and workers running with metrics disabled or
+  /// compiled out.
+  std::optional<ObsSection> obs;
+  /// On-disk format this report was loaded from (always the current
+  /// version for in-process reports; save_report writes the current
+  /// version regardless).
+  std::uint16_t read_format = report_format_version;
 
   [[nodiscard]] std::size_t error_count() const;
   /// True when this report covers every cell of its request (a merged
@@ -86,7 +114,19 @@ struct Report {
   /// streams. Error cells produce no row.
   void write_csv(std::ostream& os) const;
 
-  friend bool operator==(const Report&, const Report&) = default;
+  /// Results-only equality: the obs section (and the on-disk format it
+  /// came from) is telemetry *about* a run, not part of the campaign
+  /// outcome — an N-shard merge must compare equal to the unsharded run
+  /// even though their snapshots differ.
+  friend bool operator==(const Report& a, const Report& b) {
+    return a.fingerprint == b.fingerprint && a.written_by == b.written_by &&
+           a.shard_index == b.shard_index && a.num_shards == b.num_shards &&
+           a.total_cells == b.total_cells &&
+           a.trace_count == b.trace_count &&
+           a.geometry_count == b.geometry_count &&
+           a.strategy_count == b.strategy_count && a.ranges == b.ranges &&
+           a.cells == b.cells;
+  }
 };
 
 /// Serialize to/from the versioned binary format. save_report writes
@@ -102,6 +142,9 @@ struct Report {
 /// Reassemble shard reports into the unsharded report. Rejects: an empty
 /// list, mismatched fingerprints / grids / library versions, duplicate
 /// or missing shard indices, and cell ranges that overlap or leave gaps.
+/// Obs sections are aggregated into the fleet section over the shards
+/// that carry one; shards without one (v1 files, obs-off workers) merge
+/// fine and simply contribute nothing.
 [[nodiscard]] api::Result<Report> merge_reports(std::vector<Report> shards);
 
 }  // namespace xoridx::shard

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include <sys/resource.h>
+
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -41,12 +43,25 @@ ExplorationRequest one_cell(const ExplorationRequest& request,
   return sub;
 }
 
+/// High-water resident set of this process, in bytes (0 when the query
+/// fails). ru_maxrss is KiB on Linux, bytes on macOS.
+std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+}
+
 }  // namespace
 
 api::Result<Report> run_shard(const api::ExplorationRequest& request,
                               const ShardPlan& plan,
                               std::uint32_t shard_index,
                               obs::ProgressReporter* reporter) {
+  const std::uint64_t start_ns = obs::now_ns();
   if (shard_index == 0 || shard_index > plan.num_shards())
     return Status(StatusCode::invalid_argument,
                   "shard index " + std::to_string(shard_index) +
@@ -90,6 +105,11 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
 
     XORIDX_SPAN_NAMED(span, "shard", "trace_slice");
     XORIDX_SPAN_DETAIL(span, request.traces[slice.trace].name());
+    if (reporter != nullptr)
+      reporter->set_activity(
+          "trace '" + request.traces[slice.trace].name() + "' batch (" +
+          std::to_string(slice.geometries.size() * strategy_count) +
+          " cells)");
 
     Result<api::Report> batched = api::Explorer::explore(sub);
     if (batched.ok()) {
@@ -121,6 +141,12 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
     }
     for (const std::size_t g : slice.geometries) {
       for (std::size_t s = 0; s < strategy_count; ++s) {
+        if (reporter != nullptr)
+          reporter->set_activity(
+              "cell " + std::to_string(cell_index(g, s)) + ": trace '" +
+              request.traces[slice.trace].name() + "' " +
+              request.geometries[g].to_string() + " " +
+              request.strategies[s].label);
         Result<api::Report> single =
             api::Explorer::explore(one_cell(request, slice.trace, g, s));
         if (single.ok()) {
@@ -134,6 +160,17 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
         XORIDX_OBS_COUNT("shard.cells_done", 1);
       }
     }
+  }
+  // Attach the worker's observability section (format v2). Gated on the
+  // same switches as recording itself, so obs-off runs produce reports
+  // without a section — which merge_reports treats as "nothing to
+  // contribute", keeping result bytes independent of obs configuration.
+  if (obs::compiled() && obs::metrics_enabled()) {
+    ObsSection section;
+    section.wall_ns = obs::now_ns() - start_ns;
+    section.peak_rss_bytes = peak_rss_bytes();
+    section.snapshot = obs::registry().snapshot();
+    report.obs = std::move(section);
   }
   return report;
 }

@@ -12,14 +12,24 @@
 //   Span / write_chrome_trace      RAII timing into per-thread ring
 //                                  buffers; Chrome trace-event JSON
 //                                  (--trace-out, loadable in Perfetto)
+//   Snapshot::write_openmetrics    Prometheus/OpenMetrics text exposition
+//                                  (what the daemon's /metrics endpoint
+//                                  and `merge --fleet-metrics-out` serve)
+//   merge_chrome_traces            stitch N per-shard trace files into
+//                                  one timeline, one process track each
 //   ProgressReporter               periodic progress lines + warnings
-//                                  on stderr, sampled from the registry
+//                                  on stderr, sampled from the registry;
+//                                  stall watchdog naming the stuck cell
+//   install_flight_recorder        async-signal-safe SIGSEGV/SIGABRT
+//                                  crash dump: last spans + counters
 //
 // Instrumentation never feeds back into computation: chosen functions,
 // estimates, reports and CSV bytes are identical with obs on, runtime-
 // disabled, or compiled out (cmake -DXORIDX_OBS=OFF strips the macros).
 #pragma once
 
-#include "obs/metrics.hpp"   // IWYU pragma: export
-#include "obs/progress.hpp"  // IWYU pragma: export
-#include "obs/span.hpp"      // IWYU pragma: export
+#include "obs/export.hpp"           // IWYU pragma: export
+#include "obs/flight_recorder.hpp"  // IWYU pragma: export
+#include "obs/metrics.hpp"          // IWYU pragma: export
+#include "obs/progress.hpp"         // IWYU pragma: export
+#include "obs/span.hpp"             // IWYU pragma: export

@@ -13,11 +13,14 @@
 // (registry, spans, reporter) always compile.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -565,8 +568,12 @@ TEST(Differential, ShardReportBytesIdenticalWithObsOnAndOff) {
   request.strategies = api::parse_strategies("base,perm:2").value();
 
   const auto save_bytes = [&request](const std::string& suffix) {
-    const auto report = shard::run_campaign(request);
+    auto report = shard::run_campaign(request);
     EXPECT_TRUE(report.ok()) << report.status().to_string();
+    // The v2 obs section is telemetry (wall time, counter totals) and
+    // legitimately differs between configurations; the determinism
+    // contract covers the result cells, so compare with it stripped.
+    report->obs.reset();
     const std::string path =
         (std::filesystem::temp_directory_path() / ("xoridx_obs_" + suffix))
             .string();
@@ -588,6 +595,267 @@ TEST(Differential, ShardReportBytesIdenticalWithObsOnAndOff) {
 
   EXPECT_GT(bytes_on.size(), 0u);
   EXPECT_EQ(bytes_on, bytes_off);
+}
+
+// ------------------------------------------- fleet snapshot aggregation
+
+TEST(SnapshotAggregate, CountersSumGaugesMaxHistogramsAdd) {
+  Snapshot a;
+  Snapshot b;
+  a.counters = {{"alpha", 2}, {"common", 10}};
+  b.counters = {{"beta", 5}, {"common", 7}};
+  a.gauges = {{"depth", 3}};
+  b.gauges = {{"depth", -9}, {"lag", 4}};
+  HistogramSnapshot ha;
+  ha.count = 2;
+  ha.sum = 9;
+  ha.max = 8;
+  ha.buckets[1] = 1;
+  ha.buckets[4] = 1;
+  HistogramSnapshot hb;
+  hb.count = 1;
+  hb.sum = 1024;
+  hb.max = 1024;
+  hb.buckets[11] = 1;
+  a.histograms = {{"lat", ha}};
+  b.histograms = {{"lat", hb}, {"other", hb}};
+
+  a.aggregate(b);
+
+  EXPECT_EQ(a.counter("alpha"), 2u);
+  EXPECT_EQ(a.counter("beta"), 5u);
+  EXPECT_EQ(a.counter("common"), 17u);
+  EXPECT_EQ(a.gauge("depth"), 3);  // max, not sum: levels don't add
+  EXPECT_EQ(a.gauge("lag"), 4);
+  ASSERT_EQ(a.histograms.size(), 2u);
+  EXPECT_EQ(a.histograms[0].first, "lat");
+  EXPECT_EQ(a.histograms[0].second.count, 3u);
+  EXPECT_EQ(a.histograms[0].second.sum, 1033u);
+  EXPECT_EQ(a.histograms[0].second.max, 1024u);
+  EXPECT_EQ(a.histograms[0].second.buckets[1], 1u);
+  EXPECT_EQ(a.histograms[0].second.buckets[4], 1u);
+  EXPECT_EQ(a.histograms[0].second.buckets[11], 1u);
+  EXPECT_EQ(a.histograms[1].first, "other");
+  EXPECT_EQ(a.histograms[1].second, hb);
+  // Name ordering survives the union — snapshots stay deterministic.
+  const auto by_name = [](const auto& x, const auto& y) {
+    return x.first < y.first;
+  };
+  EXPECT_TRUE(
+      std::is_sorted(a.counters.begin(), a.counters.end(), by_name));
+  EXPECT_TRUE(std::is_sorted(a.gauges.begin(), a.gauges.end(), by_name));
+
+  // Folding in an empty snapshot changes nothing.
+  const Snapshot before = a;
+  a.aggregate(Snapshot{});
+  EXPECT_EQ(a, before);
+}
+
+// ------------------------------------------------- OpenMetrics exporter
+
+TEST(OpenMetrics, ExpositionFormatIsFrozen) {
+  // This shape is load-bearing beyond the tests: it is what the future
+  // `xoridx serve` /metrics endpoint returns, so treat any diff here as
+  // a breaking change, not a formatting nit.
+  Snapshot snap;
+  snap.counters = {{"shard.cells_done", 40}};
+  snap.gauges = {{"queue depth", -3}};
+  HistogramSnapshot h;
+  h.count = 3;
+  h.sum = 9;
+  h.max = 8;
+  h.buckets[0] = 1;  // one zero-valued sample
+  h.buckets[1] = 1;  // one sample equal to 1
+  h.buckets[4] = 1;  // one sample in [8, 15]
+  snap.histograms = {{"eval.ns", h}};
+
+  std::ostringstream os;
+  snap.write_openmetrics(os);
+  const std::string text = os.str();
+
+  // Dots and spaces sanitize to '_' under the xoridx_ namespace; the
+  // counter suffix, cumulative log2 buckets, +Inf == count, _sum/_count
+  // and the trailing # EOF are all part of the frozen contract.
+  EXPECT_NE(text.find("# TYPE xoridx_shard_cells_done counter\n"
+                      "xoridx_shard_cells_done_total 40\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE xoridx_queue_depth gauge\n"
+                      "xoridx_queue_depth -3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE xoridx_eval_ns histogram\n"
+                      "xoridx_eval_ns_bucket{le=\"0\"} 1\n"
+                      "xoridx_eval_ns_bucket{le=\"1\"} 2\n"
+                      "xoridx_eval_ns_bucket{le=\"3\"} 2\n"
+                      "xoridx_eval_ns_bucket{le=\"7\"} 2\n"
+                      "xoridx_eval_ns_bucket{le=\"15\"} 3\n"),
+            std::string::npos)
+      << text;
+  // The widest finite bound is 2^30 - 1; the tail bucket is +Inf and by
+  // OpenMetrics law equals the sample count.
+  EXPECT_NE(text.find("xoridx_eval_ns_bucket{le=\"1073741823\"} 3\n"
+                      "xoridx_eval_ns_bucket{le=\"+Inf\"} 3\n"
+                      "xoridx_eval_ns_sum 9\n"
+                      "xoridx_eval_ns_count 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_TRUE(text.ends_with("# EOF\n")) << text;
+  // 31 finite bucket bounds, no more, no fewer.
+  EXPECT_EQ(count_occurrences(text, "_bucket{le="), 32u);
+  // Strict-parser sanity: every line is a comment or `name[labels] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_')
+        << line;
+  }
+}
+
+TEST(OpenMetrics, EmptySnapshotIsStillAValidDocument) {
+  std::ostringstream os;
+  Snapshot{}.write_openmetrics(os);
+  EXPECT_EQ(os.str(), "# EOF\n");
+}
+
+// ----------------------------------------------------- trace stitching
+
+TEST(TraceMerge, RemapsPidsAndSynthesizesProcessNames) {
+  const auto temp = [](const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  };
+  const std::string a_path = temp("xoridx_trace_a.json");
+  const std::string b_path = temp("xoridx_trace_b.json");
+  {
+    // Input A: our own writer's shape — carries a pid and names itself.
+    std::ofstream os(a_path);
+    os << "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [\n"
+          "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 4242, "
+          "\"args\": {\"name\": \"shard 1/2\"}},\n"
+          "  {\"name\": \"slice\", \"cat\": \"shard\", \"ph\": \"X\", "
+          "\"ts\": 10, \"dur\": 5, \"pid\": 4242, \"tid\": 1}\n ]}\n";
+  }
+  {
+    // Input B: a foreign writer — no pid, no metadata, a tricky string.
+    std::ofstream os(b_path);
+    os << "{\"traceEvents\":[{\"name\":\"b \\\"quoted\\\" {brace\","
+          "\"ph\":\"X\",\"ts\":1,\"dur\":2,\"tid\":7}]}";
+  }
+
+  std::ostringstream os;
+  const api::Status merged_status =
+      merge_chrome_traces({a_path, b_path}, os);
+  ASSERT_TRUE(merged_status.ok()) << merged_status.to_string();
+  const std::string merged = os.str();
+
+  EXPECT_TRUE(JsonChecker(merged).valid()) << merged;
+  // A's events land on track 1, B's on track 2; original pids are gone.
+  EXPECT_EQ(count_occurrences(merged, "\"pid\": 1"), 2u) << merged;
+  EXPECT_EQ(count_occurrences(merged, "\"pid\": 2"), 2u) << merged;
+  EXPECT_EQ(count_occurrences(merged, "4242"), 0u) << merged;
+  // A keeps its own track name; B gets one synthesized from its file.
+  EXPECT_EQ(count_occurrences(merged, "process_name"), 2u) << merged;
+  EXPECT_NE(merged.find("shard 1/2"), std::string::npos) << merged;
+  EXPECT_NE(merged.find("xoridx_trace_b.json"), std::string::npos)
+      << merged;
+  // B's events and strings survive intact.
+  EXPECT_NE(merged.find("b \\\"quoted\\\" {brace"), std::string::npos)
+      << merged;
+}
+
+TEST(TraceMerge, ErrorsNameTheOffendingFile) {
+  std::ostringstream os;
+  const api::Status empty = merge_chrome_traces({}, os);
+  EXPECT_EQ(empty.code(), api::StatusCode::invalid_argument);
+
+  const api::Status missing =
+      merge_chrome_traces({"/nonexistent/xoridx_trace.json"}, os);
+  EXPECT_EQ(missing.code(), api::StatusCode::not_found);
+  EXPECT_NE(missing.message().find("/nonexistent/xoridx_trace.json"),
+            std::string::npos);
+
+  const std::string bad_path =
+      (std::filesystem::temp_directory_path() / "xoridx_trace_bad.json")
+          .string();
+  {
+    std::ofstream bad(bad_path);
+    bad << "{\"notTraceEvents\": []}";
+  }
+  const api::Status malformed = merge_chrome_traces({bad_path}, os);
+  EXPECT_EQ(malformed.code(), api::StatusCode::io_error);
+  EXPECT_NE(malformed.message().find("traceEvents"), std::string::npos);
+  EXPECT_NE(malformed.message().find(bad_path), std::string::npos);
+}
+
+// ------------------------------------------------------ flight recorder
+
+TEST(FlightRecorderDeathTest, CrashDumpNamesSignalAndRecentSpans) {
+  // The child re-raises with the default disposition, so the parent sees
+  // the original SIGABRT — and the dump the handler wrote on the way out.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string crash_path =
+      (std::filesystem::temp_directory_path() / "xoridx_flight.crash")
+          .string();
+  std::filesystem::remove(crash_path);
+  EXPECT_EXIT(
+      {
+        install_flight_recorder(crash_path);
+        flight_record("test", "explicit_entry", 123, 456);
+        { Span span("test", "span_via_raii"); }  // spans feed the ring too
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "");
+
+  std::ifstream is(crash_path);
+  ASSERT_TRUE(is.good()) << "no crash dump at " << crash_path;
+  const std::string dump{std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>()};
+  EXPECT_NE(dump.find("signal: SIGABRT"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("test/explicit_entry start=123 dur=456"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("test/span_via_raii"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("end of crash dump"), std::string::npos) << dump;
+}
+
+TEST(FlightRecorder, DisarmedRecorderIsInertAndUninstallIsIdempotent) {
+  EXPECT_FALSE(flight_recorder_armed());
+  flight_record("test", "dropped", 1, 2);  // no-op when disarmed
+  uninstall_flight_recorder();             // no-op when never installed
+  EXPECT_FALSE(flight_recorder_armed());
+}
+
+// ------------------------------------------------------ stall watchdog
+
+TEST(ProgressReporter, StallWatchdogNamesTheStalledActivity) {
+  if (!compiled()) GTEST_SKIP() << "stall detection samples real counters";
+  SwitchGuard guard;
+  set_metrics_enabled(true);
+  registry().counter("obs_test.stall.done").add(1);
+  CaptureFile capture;
+  ProgressReporter reporter({.done_counter = "obs_test.stall.done",
+                             .total = 10,
+                             .label = "unit",
+                             .interval_s = 0.03,
+                             .stall_warn_s = 0.12,
+                             .stream = capture.get()});
+  reporter.set_activity("cell 3: trace 'slow' C=4096,a=8 perm:2");
+  reporter.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  reporter.stop();
+  const std::string out = capture.contents();
+  EXPECT_NE(out.find("no obs_test.stall.done progress for"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("stalled on cell 3: trace 'slow'"),
+            std::string::npos)
+      << out;
 }
 
 }  // namespace

@@ -7,9 +7,11 @@
 // sharding relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <random>
 #include <span>
 #include <sstream>
@@ -343,8 +345,13 @@ TEST(DifferentialMerge, RandomRequestsMatchUnshardedRunExactly) {
 
 TEST(DifferentialMerge, MergedReportFileIsByteIdenticalToUnshardedRun) {
   const api::ExplorationRequest request = random_request(44);
-  const Report full = run_campaign(request).value();
-  const Report merged = run_via_shards(request, 3, "bytes").value();
+  Report full = run_campaign(request).value();
+  Report merged = run_via_shards(request, 3, "bytes").value();
+  // The obs sections carry wall times and per-process counter totals
+  // that legitimately differ between a 1-shard and a 3-shard execution;
+  // byte identity is a claim about the result cells, so strip them.
+  full.obs.reset();
+  merged.obs.reset();
   const std::string full_path = temp_path("xoridx_shard_bytes_full.rpt");
   const std::string merged_path = temp_path("xoridx_shard_bytes_merged.rpt");
   ASSERT_TRUE(save_report(full, full_path).ok());
@@ -651,6 +658,190 @@ TEST(RestartDeterminism, SameSeedSameMatrixAcrossRunsAndShards) {
   reseeded.strategies = {
       api::parse_strategy("perm:restarts=3:seed=8").value()};
   EXPECT_EQ(run_campaign(reseeded).value(), run_campaign(reseeded).value());
+}
+
+// ----------------------------- fleet observability (cross-process obs)
+
+/// Reference fold for the fleet section, written independently of
+/// obs::Snapshot::aggregate so the test is a differential and not a
+/// tautology: counters summed, gauges max'd, histogram buckets / sums /
+/// counts added with maxima max'd, wall clock and peak RSS max'd.
+ObsSection fold_reference(const std::vector<Report>& shards) {
+  ObsSection expected;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, obs::HistogramSnapshot> histograms;
+  for (const Report& shard : shards) {
+    if (!shard.obs.has_value()) continue;
+    expected.wall_ns = std::max(expected.wall_ns, shard.obs->wall_ns);
+    expected.peak_rss_bytes =
+        std::max(expected.peak_rss_bytes, shard.obs->peak_rss_bytes);
+    for (const auto& [name, value] : shard.obs->snapshot.counters)
+      counters[name] += value;
+    for (const auto& [name, value] : shard.obs->snapshot.gauges) {
+      const auto [it, fresh] = gauges.try_emplace(name, value);
+      if (!fresh) it->second = std::max(it->second, value);
+    }
+    for (const auto& [name, hist] : shard.obs->snapshot.histograms) {
+      obs::HistogramSnapshot& agg = histograms[name];
+      agg.count += hist.count;
+      agg.sum += hist.sum;
+      agg.max = std::max(agg.max, hist.max);
+      for (std::size_t b = 0; b < hist.buckets.size(); ++b)
+        agg.buckets[b] += hist.buckets[b];
+    }
+  }
+  expected.snapshot.counters.assign(counters.begin(), counters.end());
+  expected.snapshot.gauges.assign(gauges.begin(), gauges.end());
+  expected.snapshot.histograms.assign(histograms.begin(),
+                                      histograms.end());
+  return expected;
+}
+
+/// Run every shard with a freshly reset registry (each worker is its own
+/// process in a real fleet), round-trip the reports through disk, and
+/// hand back both the per-shard reports and their merge.
+struct FleetRun {
+  std::vector<Report> shards;
+  Report merged;
+};
+
+FleetRun run_fleet(const api::ExplorationRequest& request,
+                   std::uint32_t num_shards, const std::string& tag) {
+  FleetRun run;
+  const ShardPlan plan =
+      ShardPlan::partition(request, num_shards).value();
+  for (std::uint32_t i = 1; i <= num_shards; ++i) {
+    obs::registry().reset();
+    const Report report = run_shard(request, plan, i).value();
+    const std::string path = temp_path("xoridx_fleet_" + tag + "_" +
+                                       std::to_string(i) + ".rpt");
+    EXPECT_TRUE(save_report(report, path).ok());
+    Report loaded = load_report(path).value();
+    // The obs section must survive serialization bit-for-bit.
+    EXPECT_EQ(loaded.obs, report.obs);
+    run.shards.push_back(std::move(loaded));
+  }
+  std::vector<Report> to_merge = run.shards;
+  run.merged = merge_reports(std::move(to_merge)).value();
+  return run;
+}
+
+TEST(FleetObservability, MergeAggregatesShardSectionsExactly) {
+  if (!obs::compiled())
+    GTEST_SKIP() << "workers attach no obs section under XORIDX_OBS=OFF";
+  for (const std::uint32_t n : {1u, 2u, 3u, 7u}) {
+    const api::ExplorationRequest request =
+        random_request(0x0b5'0000ull + n);
+    const FleetRun fleet =
+        run_fleet(request, n, "agg" + std::to_string(n));
+    const ObsSection expected = fold_reference(fleet.shards);
+    ASSERT_TRUE(fleet.merged.obs.has_value()) << n << " shards";
+    EXPECT_EQ(fleet.merged.obs->wall_ns, expected.wall_ns);
+    EXPECT_EQ(fleet.merged.obs->peak_rss_bytes, expected.peak_rss_bytes);
+    EXPECT_EQ(fleet.merged.obs->snapshot, expected.snapshot);
+    // The fleet counter of record: every cell in the grid was finished
+    // exactly once across the whole fleet.
+    EXPECT_EQ(fleet.merged.obs->snapshot.counter("shard.cells_done"),
+              fleet.merged.total_cells)
+        << n << " shards";
+  }
+}
+
+TEST(FleetObservability, FailingCellsAreCountedInTheFleetSnapshot) {
+  if (!obs::compiled())
+    GTEST_SKIP() << "workers attach no obs section under XORIDX_OBS=OFF";
+  const api::ExplorationRequest request = failing_request();
+  const FleetRun fleet = run_fleet(request, 3, "fail");
+  const ObsSection expected = fold_reference(fleet.shards);
+  ASSERT_TRUE(fleet.merged.obs.has_value());
+  EXPECT_EQ(fleet.merged.obs->snapshot, expected.snapshot);
+  EXPECT_EQ(fleet.merged.obs->snapshot.counter("shard.cells_done"),
+            fleet.merged.total_cells);
+  EXPECT_EQ(fleet.merged.obs->snapshot.counter("shard.cell_errors"),
+            fleet.merged.error_count());
+  EXPECT_GT(fleet.merged.error_count(), 0u);
+}
+
+TEST(FleetObservability, DisabledMetricsProduceReportsWithoutSections) {
+  // The runtime proxy for an obs-off worker: recording disabled means no
+  // section — and merge_reports must treat that as "nothing to
+  // contribute", not as an error.
+  obs::set_metrics_enabled(false);
+  const api::Result<Report> report = run_campaign(small_request());
+  obs::set_metrics_enabled(true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->obs.has_value());
+  std::vector<Report> shards;
+  shards.push_back(*report);
+  const api::Result<Report> merged = merge_reports(std::move(shards));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_FALSE(merged->obs.has_value());
+}
+
+TEST(FleetObservability, V1ReportsLoadAndMergeWithV2) {
+  api::ExplorationRequest request = small_request();
+  request.geometries = {api::GeometrySpec(1024, 4),
+                        api::GeometrySpec(2048, 4)};
+  const ShardPlan plan = ShardPlan::partition(request, 2).value();
+  const Report first = run_shard(request, plan, 1).value();
+  const Report second = run_shard(request, plan, 2).value();
+
+  // Craft a v1 file by byte surgery on a section-less v2 file: rewrite
+  // the format word, drop the has_obs flag v1 never had, refresh the
+  // checksum. This is exactly what a pre-obs build would have written.
+  Report stripped = first;
+  stripped.obs.reset();
+  const std::string path = temp_path("xoridx_fleet_v1.rpt");
+  ASSERT_TRUE(save_report(stripped, path).ok());
+  std::string data = read_file(path);
+  ASSERT_GT(data.size(), 17u);
+  data[8] = 1;  // format u16 (little-endian) lives right after the magic
+  data.erase(data.size() - 9, 1);  // the v2 has_obs flag, pre-checksum
+  refresh_checksum(data);
+  write_file(path, data);
+
+  const api::Result<Report> v1 = load_report(path);
+  ASSERT_TRUE(v1.ok()) << v1.status().to_string();
+  EXPECT_EQ(v1->read_format, 1u);
+  EXPECT_FALSE(v1->obs.has_value());
+  EXPECT_EQ(*v1, first);  // results-only equality ignores the section
+
+  // Mixed-era fleets merge: results as usual, the fleet section built
+  // from whichever shards carried one.
+  std::vector<Report> mixed;
+  mixed.push_back(*v1);
+  mixed.push_back(second);
+  const api::Result<Report> merged = merge_reports(std::move(mixed));
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(merged->cells.size(), merged->total_cells);
+  if (obs::compiled() && obs::metrics_enabled()) {
+    ASSERT_TRUE(second.obs.has_value());
+    ASSERT_TRUE(merged->obs.has_value());
+    EXPECT_EQ(merged->obs->snapshot, second.obs->snapshot);
+  } else {
+    EXPECT_FALSE(merged->obs.has_value());
+  }
+}
+
+TEST(FleetObservability, FutureFormatNamesTheSupportedRange) {
+  Report report = run_campaign(small_request()).value();
+  report.obs.reset();
+  const std::string path = temp_path("xoridx_fleet_future.rpt");
+  ASSERT_TRUE(save_report(report, path).ok());
+  std::string data = read_file(path);
+  data[8] = 3;
+  refresh_checksum(data);
+  write_file(path, data);
+  const api::Result<Report> loaded = load_report(path);
+  ASSERT_FALSE(loaded.ok());
+  // "Too new" must be distinguishable from "older format without an obs
+  // section" (which loads fine, above) — and must name what this build
+  // can read so the operator knows which side to upgrade.
+  EXPECT_NE(loaded.status().message().find("unsupported"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("v3"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("v1-v2"), std::string::npos);
 }
 
 }  // namespace
