@@ -1,0 +1,236 @@
+// Serving throughput: YCSB-style closed-loop clients hammering one
+// in-process serve::Service — the same Service the TCP daemon wraps,
+// measured without socket noise so the numbers isolate admission,
+// job-graph scheduling, the shared ProfileCache, and the request memo.
+//
+// Each client thread runs a closed loop (one outstanding request,
+// submit -> wait done -> next) over a pool of table2-small requests.
+// Two mixes per client count:
+//
+//   cold: memoization disabled — every request runs the engine. The
+//         shared ProfileCache still helps (same trace+geometry profiles
+//         recur across the pool), which is the realistic daemon floor.
+//   warm: memo enabled and pre-warmed — requests replay recorded
+//         streams, measuring the service's dispatch ceiling.
+//
+// Reported per (mix, clients in {1, 4, 16}): requests/s and p50/p95/p99
+// request latency in ms.
+//
+//   serve_throughput [--requests N] [--threads N] [--json]
+//
+// With --json the machine-readable report (bench_util.hpp JsonReport
+// shape) goes to stdout and the human-readable output to stderr.
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workloads/workload.hpp"
+#include "xoridx/api.hpp"
+#include "xoridx/serve.hpp"
+
+namespace {
+
+using namespace xoridx;
+
+/// The request pool: every table2 workload (small scale) crossed with
+/// two cache sizes — 20 structurally distinct requests, each a real
+/// profile -> Eq.-4 search -> re-simulate pipeline.
+std::vector<api::ExplorationRequest> request_pool() {
+  std::vector<api::ExplorationRequest> pool;
+  const auto strategies = api::parse_strategies("base,perm:2");
+  if (!strategies.ok()) {
+    std::fprintf(stderr, "strategy parse failed: %s\n",
+                 strategies.status().to_string().c_str());
+    std::exit(1);
+  }
+  for (const std::string& name :
+       workloads::workload_names(workloads::Suite::table2)) {
+    for (const std::size_t cache_bytes : {std::size_t{1024}, std::size_t{4096}}) {
+      workloads::Workload w =
+          workloads::make_workload(name, workloads::Scale::small);
+      api::ExplorationRequest request;
+      request.traces.push_back(
+          api::TraceRef::memory(w.name, std::move(w.data)));
+      request.geometries = {api::GeometrySpec(cache_bytes, 4)};
+      request.strategies = *strategies;
+      pool.push_back(std::move(request));
+    }
+  }
+  return pool;
+}
+
+/// Block until one submitted request terminates; true on done.
+bool run_one(serve::Service& service, const std::string& id,
+             const api::ExplorationRequest& request) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool finished = false;
+  bool ok = false;
+  serve::RequestEvents events;
+  // notify_all under the lock: the waiter destroys these locals as soon
+  // as it observes `finished`.
+  events.on_done = [&](const serve::RequestSummary& summary) {
+    std::lock_guard lock(m);
+    finished = true;
+    ok = summary.failed == 0;
+    cv.notify_all();
+  };
+  events.on_error = [&](const api::Status&) {
+    std::lock_guard lock(m);
+    finished = true;
+    cv.notify_all();
+  };
+  if (!service.submit(id, request, events).ok()) return false;
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return finished; });
+  return ok;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct MixResult {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  double wall_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t profiles_built = 0;
+  std::uint64_t profiles_shared = 0;
+};
+
+/// One closed-loop run: `clients` threads, `total` requests spread
+/// round-robin over the pool. max_inflight == clients, so with one
+/// outstanding request per client admission never rejects and the run
+/// measures service throughput, not retry policy.
+MixResult run_mix(const std::vector<api::ExplorationRequest>& pool,
+                  unsigned clients, std::uint64_t total, bool warm,
+                  unsigned engine_threads) {
+  serve::ServiceOptions options;
+  options.max_inflight = clients;
+  options.engine_threads = engine_threads;
+  options.memo_capacity = warm ? 64 : 0;
+  serve::Service service(options);
+
+  if (warm) {
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      run_one(service, "warmup-" + std::to_string(i), pool[i]);
+  }
+  const std::uint64_t memo_hits_before = service.status().memo_hits;
+  const std::uint64_t misses_before = service.profile_cache().misses();
+  const std::uint64_t hits_before = service.profile_cache().hits();
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::uint64_t> failures(clients, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  const bench::StopWatch wall;
+  for (unsigned c = 0; c < clients; ++c)
+    workers.emplace_back([&, c] {
+      const std::uint64_t share =
+          total / clients + (c < total % clients ? 1 : 0);
+      for (std::uint64_t i = 0; i < share; ++i) {
+        const api::ExplorationRequest& request =
+            pool[(c + i * clients) % pool.size()];
+        const std::string id =
+            "c" + std::to_string(c) + "-" + std::to_string(i);
+        const bench::StopWatch latency;
+        if (!run_one(service, id, request)) ++failures[c];
+        latencies[c].push_back(latency.ms());
+      }
+    });
+  for (std::thread& t : workers) t.join();
+
+  MixResult result;
+  result.wall_ms = wall.ms();
+  result.requests = total;
+  std::vector<double> all;
+  for (const auto& per_client : latencies)
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  std::sort(all.begin(), all.end());
+  for (const std::uint64_t f : failures) result.failures += f;
+  result.p50_ms = percentile(all, 0.50);
+  result.p95_ms = percentile(all, 0.95);
+  result.p99_ms = percentile(all, 0.99);
+  result.memo_hits = service.status().memo_hits - memo_hits_before;
+  result.profiles_built = service.profile_cache().misses() - misses_before;
+  result.profiles_shared = service.profile_cache().hits() - hits_before;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t total = 60;
+  unsigned engine_threads = 0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v > 0) total = static_cast<std::uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      engine_threads = bench::parse_threads(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_throughput [--requests N] [--threads N] "
+                   "[--json]\n");
+      return 2;
+    }
+  }
+  std::FILE* human = json ? stderr : stdout;
+
+  const std::vector<api::ExplorationRequest> pool = request_pool();
+  bench::JsonReport report("serve_throughput");
+  std::fprintf(human,
+               "serve throughput: %zu-request pool, %llu requests per "
+               "mix\n%-6s %8s %10s %9s %9s %9s %6s\n",
+               pool.size(), static_cast<unsigned long long>(total), "mix",
+               "clients", "req/s", "p50 ms", "p95 ms", "p99 ms", "memo");
+  for (const bool warm : {false, true}) {
+    for (const unsigned clients : {1u, 4u, 16u}) {
+      const MixResult r =
+          run_mix(pool, clients, total, warm, engine_threads);
+      if (r.failures != 0) {
+        std::fprintf(stderr, "FAIL: %llu requests failed (%s, %u clients)\n",
+                     static_cast<unsigned long long>(r.failures),
+                     warm ? "warm" : "cold", clients);
+        return 1;
+      }
+      const double rps = bench::per_second(r.requests, r.wall_ms);
+      std::fprintf(human, "%-6s %8u %10.1f %9.2f %9.2f %9.2f %6llu\n",
+                   warm ? "warm" : "cold", clients, rps, r.p50_ms, r.p95_ms,
+                   r.p99_ms, static_cast<unsigned long long>(r.memo_hits));
+      report.row(warm ? "warm" : "cold")
+          .num("clients", static_cast<int>(clients))
+          .num("requests", r.requests)
+          .num("wall_ms", r.wall_ms)
+          .num("requests_per_s", rps)
+          .num("p50_ms", r.p50_ms)
+          .num("p95_ms", r.p95_ms)
+          .num("p99_ms", r.p99_ms)
+          .num("memo_hits", r.memo_hits)
+          .num("profiles_built", r.profiles_built)
+          .num("profiles_shared", r.profiles_shared);
+    }
+  }
+  if (json) report.write(std::cout);
+  return 0;
+}

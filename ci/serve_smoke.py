@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Serve daemon smoke: two concurrent NDJSON clients against one daemon.
+
+Usage: serve_smoke.py PORT ONESHOT_CSV [--no-strict-metrics]
+
+Asserts, in order:
+  1. Two clients streaming the same table2-small request concurrently
+     each rebuild (csv_header + per-cell rows) byte-identical to the
+     one-shot CLI CSV passed as ONESHOT_CSV.
+  2. A third identical request is served from the whole-request memo
+     (memo_hit true in its done event), bytes again identical.
+  3. The metrics command returns an OpenMetrics document that survives
+     the strict prometheus_client parser and carries the serve request
+     counter. --no-strict-metrics (local runs without the pip package)
+     downgrades this to a structural check.
+  4. The status command reports the three completed requests.
+"""
+import json
+import socket
+import sys
+import threading
+
+TABLE2 = ["dijkstra", "fft", "jpeg_enc", "jpeg_dec", "lame",
+          "rijndael", "susan", "adpcm_dec", "adpcm_enc", "mpeg2_dec"]
+
+
+def request(rid):
+    return {"cmd": "explore", "id": rid,
+            "traces": [{"workload": w, "scale": "small"} for w in TABLE2],
+            "caches": [1024, 4096],
+            "strategies": ["base", "perm:2"]}
+
+
+def explore(port, rid, results):
+    sock = socket.create_connection(("127.0.0.1", port))
+    stream = sock.makefile("rw")
+    stream.write(json.dumps(request(rid)) + "\n")
+    stream.flush()
+    csv = None
+    for line in stream:
+        event = json.loads(line)
+        kind = event["event"]
+        if kind == "accepted":
+            csv = event["csv_header"] + "\n"
+        elif kind == "cell":
+            assert event["state"] == "done", event
+            csv += event["csv"] + "\n"
+        elif kind == "done":
+            results[rid] = (csv, event)
+            break
+        else:
+            raise AssertionError(f"unexpected event: {line!r}")
+    sock.close()
+
+
+def main():
+    port = int(sys.argv[1])
+    expected = open(sys.argv[2]).read()
+    strict_metrics = "--no-strict-metrics" not in sys.argv[3:]
+
+    results = {}
+    clients = [threading.Thread(target=explore, args=(port, f"r{i}", results))
+               for i in range(2)]
+    for t in clients:
+        t.start()
+    for t in clients:
+        t.join()
+    for rid in ("r0", "r1"):
+        csv, done = results[rid]
+        assert done["failed"] == 0 and done["cancelled"] == 0, done
+        assert csv == expected, f"{rid}: streamed CSV differs from one-shot"
+
+    explore(port, "r2", results)
+    csv, done = results["r2"]
+    assert done["memo_hit"] is True, done
+    assert csv == expected, "memo replay differs from one-shot"
+
+    sock = socket.create_connection(("127.0.0.1", port))
+    stream = sock.makefile("rw")
+    stream.write(json.dumps({"cmd": "metrics"}) + "\n")
+    stream.flush()
+    metrics = json.loads(stream.readline())
+    assert metrics["event"] == "metrics", metrics
+    body = metrics["body"]
+    if strict_metrics:
+        from prometheus_client.openmetrics.parser import \
+            text_string_to_metric_families
+        names = {fam.name for fam in text_string_to_metric_families(body)}
+        assert "xoridx_serve_requests" in names, sorted(names)
+    else:
+        assert "xoridx_serve_requests" in body and body.endswith("# EOF\n")
+
+    stream.write(json.dumps({"cmd": "status"}) + "\n")
+    stream.flush()
+    status = json.loads(stream.readline())
+    assert status["event"] == "status", status
+    assert status["status"]["completed"] == 3, status
+    assert status["status"]["memo_hits"] >= 1, status
+    sock.close()
+    print("serve smoke ok")
+
+
+if __name__ == "__main__":
+    main()

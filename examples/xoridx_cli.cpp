@@ -31,7 +31,13 @@
 //   xoridx_cli trace-merge <spans.json>... [--out merged.json]
 //       Stitch per-shard --trace-out files into one Perfetto-loadable
 //       timeline with one named process track per input.
-//   xoridx_cli report info <file>
+//   xoridx_cli serve [--listen host:port] [options]
+//       Run the exploration daemon: concurrent NDJSON-over-TCP clients
+//       share one engine, one byte-budgeted profile cache and a
+//       whole-request memo. SIGINT/SIGTERM drain gracefully.
+//   xoridx_cli serve-status <host:port> [--json]
+//       Query a running daemon's admission/cache state.
+//   xoridx_cli report info <file> [--json]
 //       Print a shard report's header, observability section and
 //       failing cells.
 //   xoridx_cli report csv <file> [out]
@@ -44,6 +50,7 @@
 //   xoridx_cli --version
 //       Print the library version and supported trace-format versions.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,12 +61,16 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "hash/serialize.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
 #include "xoridx/obs.hpp"
+#include "xoridx/serve.hpp"
 #include "xoridx/shard.hpp"
 
 namespace {
@@ -67,6 +78,24 @@ namespace {
 using namespace xoridx;
 
 constexpr int hashed_bits = 16;
+
+// ------------------------------------------------- graceful shutdown
+// SIGINT/SIGTERM cancel rather than kill: engine/shard runs flush a
+// valid partial report with unstarted cells marked cancelled, and the
+// daemon drains in-flight requests before exiting. Both hooks are
+// async-signal-safe (an atomic store and one self-pipe write).
+engine::CancellationSource g_cancel;
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int /*sig*/) {
+  g_cancel.cancel();
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -83,7 +112,8 @@ int usage() {
                "      [--classes spec,spec,...] [--threads N] "
                "[--format csv|json]\n"
                "      [--trace file.bin]... [--mmap] [--small] [--out file]\n"
-               "      [--shard i/N] [--report-out file]\n"
+               "      [--shard i/N] [--report-out file] "
+               "[--profile-cache-mb N]\n"
                "      [--metrics-out m.json] [--trace-out spans.json] "
                "[--progress[=ms]]\n"
                "    strategy specs: %s\n"
@@ -94,9 +124,13 @@ int usage() {
                "  xoridx_cli merge <shard.rpt>... [--out merged.rpt] "
                "[--csv file|-]\n"
                "      [--fleet-metrics-out m.prom]\n"
+               "  xoridx_cli serve [--listen host:port] [--max-inflight N] "
+               "[--queue N]\n"
+               "      [--threads N] [--profile-cache-mb N] [--memo N]\n"
+               "  xoridx_cli serve-status <host:port> [--json]\n"
                "  xoridx_cli trace-merge <spans.json>... "
                "[--out merged.json]\n"
-               "  xoridx_cli report info <file>\n"
+               "  xoridx_cli report info <file> [--json]\n"
                "  xoridx_cli report csv <file> [out]\n"
                "  xoridx_cli trace convert <in> <out> [--to v1|v2] "
                "[--chunk N]\n"
@@ -344,6 +378,19 @@ int cmd_engine(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage();
       report_out = v;
+    } else if (arg == "--profile-cache-mb") {
+      const char* v = value();
+      if (!v) return usage();
+      const long mb = std::atol(v);
+      if (mb <= 0) {
+        std::fprintf(stderr,
+                     "error: --profile-cache-mb wants a positive MiB "
+                     "budget, got '%s'\n",
+                     v);
+        return 2;
+      }
+      request.profile_cache_bytes =
+          static_cast<std::size_t>(mb) << 20;
     } else if (arg == "--metrics-out") {
       const char* v = value();
       if (!v) return usage();
@@ -376,6 +423,12 @@ int cmd_engine(int argc, char** argv) {
   // Span recording starts before workloads are generated so profile
   // builds and the campaign itself all land in the trace.
   if (!trace_out.empty()) obs::set_trace_enabled(true);
+
+  // Ctrl-C / SIGTERM cancel at the next cell boundary: the sharded path
+  // still writes its report with unstarted cells marked cancelled, the
+  // one-shot path surfaces StatusCode::cancelled.
+  request.cancel = g_cancel.token();
+  install_stop_handlers();
 
   // --shard is validated before any trace is synthesized or loaded: a
   // malformed spec is a usage error (exit 2) naming the bad value, not
@@ -654,11 +707,220 @@ int cmd_trace_merge(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--listen") {
+      const char* v = value();
+      if (!v) return usage();
+      options.listen = v;
+    } else if (arg == "--max-inflight") {
+      const char* v = value();
+      const long n = v ? std::atol(v) : 0;
+      if (n < 1) return usage();
+      options.service.max_inflight = static_cast<unsigned>(n);
+    } else if (arg == "--queue") {
+      const char* v = value();
+      if (!v) return usage();
+      const long n = std::atol(v);
+      if (n < 0) return usage();
+      options.service.queue_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      const long n = v ? std::atol(v) : 0;
+      if (n < 1) return usage();
+      options.service.engine_threads = static_cast<unsigned>(n);
+    } else if (arg == "--profile-cache-mb") {
+      const char* v = value();
+      const long mb = v ? std::atol(v) : 0;
+      if (mb < 1) return usage();
+      options.service.profile_cache_bytes =
+          static_cast<std::size_t>(mb) << 20;
+    } else if (arg == "--memo") {
+      const char* v = value();
+      if (!v) return usage();
+      const long n = std::atol(v);
+      if (n < 0) return usage();
+      options.service.memo_capacity = static_cast<std::size_t>(n);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  serve::Server server(std::move(options));
+  if (const api::Status bound = server.bind(); !bound.ok())
+    return fail(bound);
+  g_server = &server;
+  install_stop_handlers();
+  // One parseable line so scripts (and the CI smoke test) can discover
+  // an ephemeral --listen :0 port.
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.serve();
+  g_server = nullptr;
+  std::fprintf(stderr, "[serve] drained, bye\n");
+  return 0;
+}
+
+/// Connect, send one command line, print response lines until the
+/// wanted terminal event arrives. The tiny client half of the NDJSON
+/// protocol, enough for scripting `serve-status` and smoke checks.
+int cmd_serve_status(int argc, char** argv) {
+  if (argc < 3) return usage();
+  bool json = false;
+  std::string address;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      json = true;
+    else if (address.empty())
+      address = arg;
+    else
+      return usage();
+  }
+  if (address.empty()) return usage();
+  const api::Result<std::pair<std::string, std::uint16_t>> parsed =
+      serve::parse_listen_address(address);
+  if (!parsed.ok()) return fail(parsed.status());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail({api::StatusCode::io_error, "socket failed"});
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(parsed->second);
+  if (::inet_pton(AF_INET, parsed->first.c_str(), &sa.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+          0) {
+    ::close(fd);
+    return fail({api::StatusCode::io_error,
+                 "cannot connect to " + address +
+                     " (is the daemon running?)"});
+  }
+  const char request[] = "{\"cmd\":\"status\"}\n";
+  if (::send(fd, request, sizeof(request) - 1, 0) < 0) {
+    ::close(fd);
+    return fail({api::StatusCode::io_error, "send failed"});
+  }
+  std::string line;
+  char c = 0;
+  while (::recv(fd, &c, 1, 0) == 1 && c != '\n') line += c;
+  ::close(fd);
+  if (line.empty())
+    return fail({api::StatusCode::io_error,
+                 "daemon closed the connection without replying"});
+
+  const api::Result<serve::JsonValue> reply = serve::parse_json(line);
+  if (!reply.ok()) return fail(reply.status());
+  if (json) {
+    std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  const serve::JsonValue* status = reply->find("status");
+  if (status == nullptr || !status->is_object())
+    return fail({api::StatusCode::io_error,
+                 "unexpected reply: " + line});
+  for (const auto& [key, value] : status->members()) {
+    if (value.is_object()) {
+      for (const auto& [sub_key, sub_value] : value.members())
+        std::printf("%-28s %lld\n", (key + "." + sub_key).c_str(),
+                    static_cast<long long>(sub_value.as_int()));
+    } else {
+      std::printf("%-28s %lld\n", key.c_str(),
+                  static_cast<long long>(value.as_int()));
+    }
+  }
+  return 0;
+}
+
 int cmd_report_info(int argc, char** argv) {
   if (argc < 4) return usage();
-  const api::Result<shard::Report> loaded = shard::load_report(argv[3]);
+  std::string path;
+  bool json = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      json = true;
+    else if (path.empty())
+      path = arg;
+    else
+      return usage();
+  }
+  if (path.empty()) return usage();
+  const api::Result<shard::Report> loaded = shard::load_report(path);
   if (!loaded.ok()) return fail(loaded.status());
   const shard::Report& r = *loaded;
+  if (json) {
+    serve::JsonValue out = serve::JsonValue::object();
+    out.set("format", static_cast<std::int64_t>(r.read_format));
+    {
+      std::ostringstream v;
+      v << r.written_by.major << '.' << r.written_by.minor << '.'
+        << r.written_by.patch;
+      out.set("written_by", v.str());
+    }
+    out.set("request", r.fingerprint.to_string());
+    serve::JsonValue shard_obj = serve::JsonValue::object();
+    shard_obj.set("index", static_cast<std::int64_t>(r.shard_index));
+    shard_obj.set("count", static_cast<std::int64_t>(r.num_shards));
+    out.set("shard", std::move(shard_obj));
+    serve::JsonValue grid = serve::JsonValue::object();
+    grid.set("traces", static_cast<std::int64_t>(r.trace_count));
+    grid.set("geometries", static_cast<std::int64_t>(r.geometry_count));
+    grid.set("strategies", static_cast<std::int64_t>(r.strategy_count));
+    grid.set("cells", static_cast<std::int64_t>(r.total_cells));
+    out.set("grid", std::move(grid));
+    serve::JsonValue cells = serve::JsonValue::object();
+    cells.set("carried", static_cast<std::int64_t>(r.cells.size()));
+    cells.set("ranges", static_cast<std::int64_t>(r.ranges.size()));
+    cells.set("failed", static_cast<std::int64_t>(r.error_count()));
+    out.set("cells", std::move(cells));
+    if (r.obs.has_value()) {
+      const shard::ObsSection& obs_section = *r.obs;
+      serve::JsonValue obs_obj = serve::JsonValue::object();
+      obs_obj.set("wall_s",
+                  static_cast<double>(obs_section.wall_ns) * 1e-9);
+      obs_obj.set("peak_rss_bytes",
+                  static_cast<std::int64_t>(obs_section.peak_rss_bytes));
+      serve::JsonValue counters = serve::JsonValue::object();
+      for (const auto& [name, value] : obs_section.snapshot.counters)
+        counters.set(name, static_cast<std::int64_t>(value));
+      obs_obj.set("counters", std::move(counters));
+      serve::JsonValue gauges = serve::JsonValue::object();
+      for (const auto& [name, value] : obs_section.snapshot.gauges)
+        gauges.set(name, static_cast<std::int64_t>(value));
+      obs_obj.set("gauges", std::move(gauges));
+      serve::JsonValue histograms = serve::JsonValue::object();
+      for (const auto& [name, hist] : obs_section.snapshot.histograms) {
+        serve::JsonValue h = serve::JsonValue::object();
+        h.set("count", static_cast<std::int64_t>(hist.count));
+        h.set("mean", hist.mean());
+        h.set("max", static_cast<std::int64_t>(hist.max));
+        histograms.set(name, std::move(h));
+      }
+      obs_obj.set("histograms", std::move(histograms));
+      out.set("observability", std::move(obs_obj));
+    } else {
+      out.set("observability", serve::JsonValue());
+    }
+    serve::JsonValue failures = serve::JsonValue::array();
+    for (const shard::Cell& cell : r.cells)
+      if (!cell.ok()) {
+        serve::JsonValue f = serve::JsonValue::object();
+        f.set("cell", static_cast<std::int64_t>(cell.index));
+        f.set("code", api::status_code_name(cell.error().code));
+        f.set("message", cell.error().message);
+        failures.push_back(std::move(f));
+      }
+    out.set("failures", std::move(failures));
+    std::printf("%s\n", out.serialize().c_str());
+    return 0;
+  }
   std::printf("format          shard report v%u (this build reads v%u-v%u)\n",
               static_cast<unsigned>(r.read_format),
               static_cast<unsigned>(shard::min_report_format_version),
@@ -809,6 +1071,8 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(argc, argv);
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "engine") return cmd_engine(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "serve-status") return cmd_serve_status(argc, argv);
     if (command == "merge") return cmd_merge(argc, argv);
     if (command == "trace-merge") return cmd_trace_merge(argc, argv);
     if (command == "report") return cmd_report(argc, argv);

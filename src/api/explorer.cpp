@@ -76,7 +76,9 @@ Result<internal::LoweredRequest> internal::validate_and_lower(
   return lowered;
 }
 
-Result<Report> Explorer::explore(const ExplorationRequest& request) {
+Result<std::unique_ptr<engine::Campaign>> internal::build_campaign(
+    const ExplorationRequest& request,
+    std::shared_ptr<engine::ProfileCache> shared_profiles) {
   Result<internal::LoweredRequest> lowered =
       internal::validate_and_lower(request);
   if (!lowered.ok()) return lowered.status();
@@ -130,10 +132,41 @@ Result<Report> Explorer::explore(const ExplorationRequest& request) {
   }
 
   try {
-    engine::Campaign campaign(std::move(spec));
+    const bool private_cache = shared_profiles == nullptr;
+    auto campaign = std::make_unique<engine::Campaign>(
+        std::move(spec), std::move(shared_profiles));
+    if (private_cache && request.profile_cache_bytes > 0)
+      campaign->profiles().set_byte_budget(request.profile_cache_bytes);
+    return campaign;
+  } catch (...) {
+    return status_from_current_exception(StatusCode::io_error);
+  }
+}
+
+Status internal::status_from_campaign_error(const engine::CampaignError& e) {
+  // Preserve the wrapped exception's class: environment failures
+  // (unreadable chunks, vanished files) are io_error, not internal.
+  const StatusCode code =
+      e.cause() == engine::CampaignError::Cause::invalid_argument
+          ? StatusCode::invalid_argument
+      : e.cause() == engine::CampaignError::Cause::runtime
+          ? StatusCode::io_error
+          : StatusCode::internal;
+  return Status(code, std::string("sweep job failed: ") + e.what())
+      .with_cell(e.trace_name(), e.geometry().to_string(), e.label());
+}
+
+Result<Report> Explorer::explore(const ExplorationRequest& request) {
+  Result<std::unique_ptr<engine::Campaign>> built =
+      internal::build_campaign(request);
+  if (!built.ok()) return built.status();
+  engine::Campaign& campaign = **built;
+
+  try {
     engine::CampaignOptions options;
     options.num_threads = request.num_threads;
     options.sink = request.sink;
+    options.cancel = request.cancel;
 
     Report report;
     report.rows = campaign.run(options);
@@ -145,17 +178,11 @@ Result<Report> Explorer::explore(const ExplorationRequest& request) {
     report.profiles_built = campaign.profiles().misses();
     report.profiles_shared = campaign.profiles().hits();
     return report;
+  } catch (const engine::CampaignCancelled&) {
+    return Status(StatusCode::cancelled,
+                  "exploration cancelled before the sweep completed");
   } catch (const engine::CampaignError& e) {
-    // Preserve the wrapped exception's class: environment failures
-    // (unreadable chunks, vanished files) are io_error, not internal.
-    const StatusCode code =
-        e.cause() == engine::CampaignError::Cause::invalid_argument
-            ? StatusCode::invalid_argument
-        : e.cause() == engine::CampaignError::Cause::runtime
-            ? StatusCode::io_error
-            : StatusCode::internal;
-    return Status(code, std::string("sweep job failed: ") + e.what())
-        .with_cell(e.trace_name(), e.geometry().to_string(), e.label());
+    return internal::status_from_campaign_error(e);
   } catch (...) {
     return status_from_current_exception(StatusCode::io_error);
   }

@@ -25,6 +25,7 @@
 #include "api/trace_ref.hpp"
 #include "cache/geometry.hpp"
 #include "cache/simulate.hpp"
+#include "engine/cancellation.hpp"
 #include "engine/report.hpp"
 #include "hash/index_function.hpp"
 #include "profile/conflict_profile.hpp"
@@ -75,6 +76,17 @@ struct ExplorationRequest {
   /// Results stream here in request order as the ordered prefix
   /// completes (optional).
   ResultSink* sink = nullptr;
+  /// Checked at cell boundaries: running cells finish, unstarted cells
+  /// are abandoned and the run surfaces StatusCode::cancelled (explore)
+  /// or per-cell cancelled errors (run_shard). Default never fires. Not
+  /// part of the request's structural identity (shard fingerprints and
+  /// the daemon's memo key ignore it, like num_threads and sink).
+  engine::CancellationToken cancel;
+  /// LRU byte budget for this run's profile cache (0 = unlimited).
+  /// Ignored when the campaign runs on a shared daemon cache, whose
+  /// owner sets the budget. Like num_threads, not part of the request's
+  /// structural identity.
+  std::size_t profile_cache_bytes = 0;
 
   [[nodiscard]] std::size_t job_count() const {
     return traces.size() * geometries.size() * strategies.size();

@@ -1,14 +1,16 @@
-// Internal helpers shared by the api/ and shard/ implementation files.
-// Not part of the public surface — do not include from examples or
-// benches.
+// Internal helpers shared by the api/, shard/ and serve/ implementation
+// files. Not part of the public surface — do not include from examples
+// or benches.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "api/explorer.hpp"
 #include "api/status.hpp"
 #include "cache/geometry.hpp"
 #include "engine/campaign.hpp"
+#include "engine/profile_cache.hpp"
 
 namespace xoridx::api::internal {
 
@@ -33,5 +35,20 @@ struct LoweredRequest {
 /// reads metadata).
 [[nodiscard]] Result<LoweredRequest> validate_and_lower(
     const ExplorationRequest& request);
+
+/// Validate the request, resolve every trace ref (eager refs load here,
+/// streaming refs resolve their metadata) and construct the campaign —
+/// the whole front half of Explorer::explore. `shared_profiles`
+/// (optional) substitutes an externally-owned ProfileCache so concurrent
+/// campaigns (the serving daemon) share profile/zeta builds. Campaign is
+/// not movable (it owns synchronization state), hence the unique_ptr.
+[[nodiscard]] Result<std::unique_ptr<engine::Campaign>> build_campaign(
+    const ExplorationRequest& request,
+    std::shared_ptr<engine::ProfileCache> shared_profiles = nullptr);
+
+/// Map a CampaignError onto the Status model, preserving the wrapped
+/// exception's class and the failing cell.
+[[nodiscard]] Status status_from_campaign_error(
+    const engine::CampaignError& e);
 
 }  // namespace xoridx::api::internal

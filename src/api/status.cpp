@@ -16,6 +16,10 @@ const char* status_code_name(StatusCode code) {
       return "io-error";
     case StatusCode::internal:
       return "internal";
+    case StatusCode::cancelled:
+      return "cancelled";
+    case StatusCode::busy:
+      return "busy";
   }
   return "unknown";
 }

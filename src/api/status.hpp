@@ -23,6 +23,8 @@ enum class StatusCode {
   not_found,         ///< a named file/trace/strategy does not exist
   io_error,          ///< a file exists but cannot be read or is corrupt
   internal,          ///< an unexpected failure inside the library
+  cancelled,         ///< the request's cancellation token fired mid-run
+  busy,              ///< the server's admission queue is full; retry later
 };
 
 [[nodiscard]] const char* status_code_name(StatusCode code);

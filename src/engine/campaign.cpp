@@ -1,8 +1,10 @@
 #include "engine/campaign.hpp"
 
+#include <atomic>
 #include <exception>
 #include <stdexcept>
 #include <utility>
+#include <variant>
 
 #include "cache/simulate.hpp"
 #include "engine/thread_pool.hpp"
@@ -76,7 +78,11 @@ void resolve_source_metadata(TraceEntry& entry) {
   entry.metadata_resolved = true;
 }
 
-Campaign::Campaign(SweepSpec spec) : spec_(std::move(spec)) {
+Campaign::Campaign(SweepSpec spec,
+                   std::shared_ptr<ProfileCache> shared_profiles)
+    : spec_(std::move(spec)),
+      profile_cache_(shared_profiles ? std::move(shared_profiles)
+                                     : std::make_shared<ProfileCache>()) {
   for (TraceEntry& entry : spec_.traces) {
     if (!entry.trace && entry.path.empty() && !entry.source_factory)
       throw std::invalid_argument(
@@ -217,11 +223,11 @@ JobResult Campaign::execute(const Job& job) {
       if (entry.streaming) {
         const std::unique_ptr<tracestore::TraceSource> source =
             Campaign::open_source(entry);
-        return self.profile_cache_.get_or_build(entry.id, *source, geom,
-                                                self.spec_.hashed_bits);
+        return self.profile_cache_->get_or_build(entry.id, *source, geom,
+                                                 self.spec_.hashed_bits);
       }
-      return self.profile_cache_.get_or_build(entry.id, *entry.trace, geom,
-                                              self.spec_.hashed_bits);
+      return self.profile_cache_->get_or_build(entry.id, *entry.trace, geom,
+                                               self.spec_.hashed_bits);
     }
 
     void operator()(const EvaluateFunctionJob& j) const {
@@ -355,8 +361,140 @@ JobResult Campaign::execute(const Job& job) {
   return result;
 }
 
+std::exception_ptr Campaign::execute_graph(const CampaignOptions& options,
+                                           bool fail_fast,
+                                           const CellCallback& on_cell,
+                                           std::vector<CellOutcome>& outcomes) {
+  outcomes.assign(jobs_.size(), CellOutcome{});
+
+  // Ordered-prefix emission state: cells settle in completion order but
+  // stream to the sink/callback in spec order, so a run with N threads
+  // (or on a shared pool) emits bytes identical to a serial run.
+  std::mutex emit_mutex;
+  std::vector<char> settled(jobs_.size(), 0);
+  std::size_t emitted = 0;
+  std::exception_ptr first_error;
+  std::atomic<bool> error_seen{false};
+  bool sink_failed = false;
+
+  const auto emit_prefix_locked = [&] {
+    while (emitted < jobs_.size() && settled[emitted]) {
+      const CellOutcome& out = outcomes[emitted];
+      if (on_cell) on_cell(emitted, out);
+      // A throwing sink must not escape a pool task (std::terminate);
+      // record it like a job failure and stop emitting.
+      if (options.sink && out.state == CellState::done && !first_error &&
+          !sink_failed) {
+        try {
+          options.sink->write(out.result);
+        } catch (...) {
+          first_error = std::current_exception();
+          error_seen.store(true, std::memory_order_relaxed);
+          sink_failed = true;
+        }
+      }
+      ++emitted;
+    }
+  };
+
+  const auto settle = [&](std::size_t i, CellOutcome out) {
+    std::lock_guard lock(emit_mutex);
+    if (out.state == CellState::failed && !first_error) {
+      first_error = out.error;
+      error_seen.store(true, std::memory_order_relaxed);
+    }
+    outcomes[i] = std::move(out);
+    settled[i] = 1;
+    emit_prefix_locked();
+  };
+
+  // One graph node per cell, plus one prelude node per (trace, geometry)
+  // group whose cells read the conventional-index baseline: the shared
+  // simulation runs once, before its dependents, instead of the first
+  // cell building it while its siblings park on a future inside pool
+  // workers. Prelude failures are swallowed — the failed build is
+  // uncached, so each dependent retries inline and the error surfaces
+  // attributed to a cell, exactly as the blocking path reported it.
+  JobGraph graph;
+  std::vector<JobGraph::NodeId> cell_nodes(jobs_.size());
+  std::size_t flat = 0;  // (t, g)-major flat index into jobs_
+  for (std::size_t t = 0; t < spec_.traces.size(); ++t) {
+    for (std::size_t g = 0; g < spec_.geometries.size(); ++g) {
+      bool needs_baseline = false;
+      for (std::size_t c = 0; c < spec_.configs.size(); ++c)
+        if (!std::holds_alternative<ClassifyMissesJob>(
+                spec_.configs[c].payload))
+          needs_baseline = true;
+      std::vector<JobGraph::NodeId> deps;
+      if (needs_baseline) {
+        deps.push_back(graph.add([this, t, g, fail_fast, &error_seen] {
+          if (fail_fast && error_seen.load(std::memory_order_relaxed))
+            return;
+          try {
+            (void)baseline_stats(t, g);
+          } catch (...) {
+            // Dependents retry and attribute (see above).
+          }
+        }));
+      }
+      for (std::size_t c = 0; c < spec_.configs.size(); ++c, ++flat) {
+        const std::size_t i = flat;
+        cell_nodes[i] =
+            graph.add(
+                [this, i, fail_fast, &error_seen, &settle] {
+                  if (fail_fast &&
+                      error_seen.load(std::memory_order_relaxed)) {
+                    // Skipped: run() discards outcomes on the error
+                    // path, so the defaulted outcome is never read.
+                    settle(i, CellOutcome{});
+                    return;
+                  }
+                  CellOutcome out;
+                  try {
+                    out.result = execute(jobs_[i]);
+                  } catch (...) {
+                    out.state = CellState::failed;
+                    out.error = wrap_current_exception(jobs_[i]);
+                  }
+                  settle(i, std::move(out));
+                },
+                deps);
+      }
+    }
+  }
+
+  if (options.pool != nullptr) {
+    graph.run(options.pool, options.cancel);
+  } else {
+    const unsigned threads = options.num_threads == 0
+                                 ? ThreadPool::default_threads()
+                                 : options.num_threads;
+    if (threads <= 1 || jobs_.size() <= 1) {
+      graph.run(nullptr, options.cancel);
+    } else {
+      ThreadPool pool(threads);
+      graph.run(&pool, options.cancel);
+    }
+  }
+
+  // Cells the graph cancelled never ran their settle: mark them now and
+  // flush the rest of the ordered prefix to the callback.
+  {
+    std::lock_guard lock(emit_mutex);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (settled[i]) continue;
+      if (graph.outcome(cell_nodes[i]).state !=
+          JobGraph::NodeState::cancelled)
+        continue;  // unreachable: every uncancelled cell settles itself
+      outcomes[i].state = CellState::cancelled;
+      settled[i] = 1;
+    }
+    emit_prefix_locked();
+  }
+  return first_error;
+}
+
 std::vector<JobResult> Campaign::run(const CampaignOptions& options) {
-  std::vector<JobResult> results(jobs_.size());
   if (options.sink) options.sink->begin();
 
   // Terminate the sink on a failure path without letting a throwing
@@ -369,80 +507,37 @@ std::vector<JobResult> Campaign::run(const CampaignOptions& options) {
     }
   };
 
-  const unsigned threads = options.num_threads == 0
-                               ? ThreadPool::default_threads()
-                               : options.num_threads;
-  if (threads <= 1 || jobs_.size() <= 1) {
-    for (std::size_t i = 0; i < jobs_.size(); ++i) {
-      try {
-        results[i] = execute(jobs_[i]);
-      } catch (...) {
-        // Terminate the sink so streamed output (e.g. a JSON array)
-        // stays well-formed even when a job fails mid-sweep, and attach
-        // the failing cell to the surfaced error.
-        end_sink_noexcept();
-        std::rethrow_exception(wrap_current_exception(jobs_[i]));
-      }
-      if (options.sink) {
-        try {
-          options.sink->write(results[i]);
-        } catch (...) {
-          // A sink failure is not a job failure: terminate the stream
-          // and surface it unwrapped.
-          end_sink_noexcept();
-          throw;
-        }
-      }
-    }
-    if (options.sink) options.sink->end();
-    return results;
-  }
-
-  ThreadPool pool(threads);
-  std::mutex emit_mutex;
-  std::vector<char> done(jobs_.size(), 0);
-  std::size_t emitted = 0;
+  std::vector<CellOutcome> outcomes;
   std::exception_ptr first_error;
-
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    pool.submit([&, i] {
-      JobResult r;
-      std::exception_ptr error;
-      try {
-        r = execute(jobs_[i]);
-      } catch (...) {
-        // Attach the cell before the exception crosses the pool
-        // boundary: by rethrow time the job index is long gone.
-        error = wrap_current_exception(jobs_[i]);
-      }
-      std::lock_guard lock(emit_mutex);
-      if (error) {
-        if (!first_error) first_error = error;
-        return;
-      }
-      results[i] = std::move(r);
-      done[i] = 1;
-      // Stream the longest completed prefix not yet emitted: insertion
-      // order regardless of completion order. A throwing sink must not
-      // escape the pool task (std::terminate); record it like a job
-      // failure and stop emitting.
-      if (options.sink && !first_error) {
-        try {
-          while (emitted < jobs_.size() && done[emitted])
-            options.sink->write(results[emitted++]);
-        } catch (...) {
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-    });
+  try {
+    first_error = execute_graph(options, /*fail_fast=*/true, {}, outcomes);
+  } catch (...) {
+    end_sink_noexcept();
+    throw;
   }
-  pool.wait_idle();
   if (first_error) {
     end_sink_noexcept();  // the recorded job failure wins
     std::rethrow_exception(first_error);
   }
+  if (options.cancel.cancelled()) {
+    end_sink_noexcept();  // partial but well-formed streamed output
+    throw CampaignCancelled();
+  }
   if (options.sink) options.sink->end();
+
+  std::vector<JobResult> results;
+  results.reserve(outcomes.size());
+  for (CellOutcome& out : outcomes) results.push_back(std::move(out.result));
   return results;
+}
+
+std::vector<CellOutcome> Campaign::run_cells(const CampaignOptions& options,
+                                             const CellCallback& on_cell) {
+  if (options.sink) options.sink->begin();
+  std::vector<CellOutcome> outcomes;
+  (void)execute_graph(options, /*fail_fast=*/false, on_cell, outcomes);
+  if (options.sink) options.sink->end();
+  return outcomes;
 }
 
 }  // namespace xoridx::engine

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "cache/geometry.hpp"
+#include "engine/cancellation.hpp"
 #include "engine/job.hpp"
+#include "engine/job_graph.hpp"
 #include "engine/profile_cache.hpp"
 #include "engine/report.hpp"
 #include "trace/trace.hpp"
@@ -186,11 +188,46 @@ struct CampaignOptions {
   unsigned num_threads = 0;
   /// Results stream here in spec order as the ordered prefix completes.
   ResultSink* sink = nullptr;
+  /// Checked at cell boundaries: a running cell always finishes, cells
+  /// not yet started settle as cancelled. Default token never fires.
+  CancellationToken cancel;
+  /// Run on this externally-owned pool instead of creating one
+  /// (num_threads is then ignored). Many campaigns may share one pool —
+  /// completion is tracked per job graph, not via ThreadPool::wait_idle
+  /// — which is how the serving daemon runs concurrent requests on one
+  /// engine.
+  ThreadPool* pool = nullptr;
+};
+
+/// Thrown by Campaign::run when the options' cancellation token fired
+/// before the sweep completed. run_cells never throws it — cancelled
+/// cells are reported per cell instead.
+class CampaignCancelled : public std::runtime_error {
+ public:
+  CampaignCancelled() : std::runtime_error("campaign cancelled") {}
+};
+
+/// Settled state of one cell of a run_cells sweep.
+enum class CellState {
+  done,       ///< result is valid
+  failed,     ///< error holds a CampaignError naming the cell
+  cancelled,  ///< the cancellation token fired before the cell started
+};
+
+struct CellOutcome {
+  CellState state = CellState::done;
+  JobResult result;          ///< valid when state == done
+  std::exception_ptr error;  ///< set when state == failed
 };
 
 class Campaign {
  public:
-  explicit Campaign(SweepSpec spec);
+  /// `shared_profiles` (optional) substitutes an externally-owned
+  /// ProfileCache for the campaign's private one, so many campaigns —
+  /// e.g. concurrent daemon requests tuning against the same hot traces
+  /// — pay for one profile/zeta build per (trace content, geometry, n).
+  explicit Campaign(SweepSpec spec,
+                    std::shared_ptr<ProfileCache> shared_profiles = nullptr);
 
   [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const std::vector<Job>& jobs() const noexcept {
@@ -208,12 +245,34 @@ class Campaign {
   }
 
   /// Execute every job and return results in jobs() order. May be called
-  /// repeatedly; the profile cache persists across runs.
+  /// repeatedly; the profile cache persists across runs. The first
+  /// failing cell aborts the sweep (remaining cells are skipped) and is
+  /// rethrown as a CampaignError; cancellation mid-sweep throws
+  /// CampaignCancelled. Both paths terminate the sink so streamed
+  /// output stays well-formed. Implemented on the job graph: a run with
+  /// N threads (or on a shared pool) produces output byte-identical to
+  /// a serial run.
   std::vector<JobResult> run(const CampaignOptions& options = {});
 
+  /// Settled in spec order as the ordered prefix of the sweep
+  /// completes: cells stream to the callback exactly once each.
+  using CellCallback =
+      std::function<void(std::size_t index, const CellOutcome& outcome)>;
+
+  /// Execute every job, capturing per-cell outcomes instead of aborting
+  /// on failure: a failing cell is recorded (CampaignError attached), a
+  /// fired cancellation token marks every not-yet-started cell
+  /// cancelled, and completed cells keep their exact results either
+  /// way. The outcome vector is in jobs() order; `on_cell` (optional)
+  /// observes the same outcomes in spec order. Uncancelled,
+  /// failure-free sweeps produce rows byte-identical to run().
+  std::vector<CellOutcome> run_cells(const CampaignOptions& options = {},
+                                     const CellCallback& on_cell = {});
+
   [[nodiscard]] const ProfileCache& profiles() const noexcept {
-    return profile_cache_;
+    return *profile_cache_;
   }
+  [[nodiscard]] ProfileCache& profiles() noexcept { return *profile_cache_; }
 
  private:
   [[nodiscard]] JobResult execute(const Job& job);
@@ -226,10 +285,18 @@ class Campaign {
   /// job's cell (CampaignErrors pass through untouched).
   [[nodiscard]] std::exception_ptr wrap_current_exception(
       const Job& job) const;
+  /// Build and run the job graph behind both run() and run_cells().
+  /// With `fail_fast`, cells after the first failure are skipped (their
+  /// outcome is left defaulted; the caller throws the recorded error
+  /// anyway). Returns the first recorded job/sink error, if any.
+  std::exception_ptr execute_graph(const CampaignOptions& options,
+                                   bool fail_fast,
+                                   const CellCallback& on_cell,
+                                   std::vector<CellOutcome>& outcomes);
 
   SweepSpec spec_;
   std::vector<Job> jobs_;
-  ProfileCache profile_cache_;
+  std::shared_ptr<ProfileCache> profile_cache_;
 
   /// Conventional-index simulation results, deduplicated per (trace,
   /// geometry) like the profiles (first requester builds, concurrent

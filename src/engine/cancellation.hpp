@@ -1,0 +1,60 @@
+// Cooperative cancellation for campaign execution.
+//
+// A CancellationSource owns one shared flag; the CancellationTokens it
+// hands out observe it. Cancellation is checked at cell boundaries only
+// — a running cell always finishes, so partial results stay exact and
+// byte-identical to the cells an uncancelled run would have produced.
+// Tokens are value types: copying one is copying a shared_ptr, and a
+// default-constructed token can never fire, so "no cancellation" needs
+// no special casing at call sites.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace xoridx::engine {
+
+class CancellationToken {
+ public:
+  /// Inert token: cancelled() is always false.
+  CancellationToken() = default;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True when this token is connected to a source (even if not yet
+  /// fired) — lets call sites skip per-cell checks entirely for the
+  /// common inert case.
+  [[nodiscard]] bool can_cancel() const noexcept { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Sticky: once fired, every token stays cancelled. Safe to call from
+  /// any thread and — being one relaxed atomic store — from a signal
+  /// handler.
+  void cancel() noexcept { flag_->store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancellationToken token() const {
+    return CancellationToken(flag_);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace xoridx::engine

@@ -1,0 +1,148 @@
+#include "engine/job_graph.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace xoridx::engine {
+
+JobGraph::NodeId JobGraph::add(std::function<void()> fn,
+                               std::vector<NodeId> deps) {
+  const NodeId id = nodes_.size();
+  for (const NodeId dep : deps)
+    if (dep >= id)
+      throw std::invalid_argument(
+          "job graph dependency " + std::to_string(dep) +
+          " of node " + std::to_string(id) +
+          " is not an earlier node (the graph is built in "
+          "topological order)");
+  Node node;
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  for (const NodeId dep : deps) nodes_[dep].dependents.push_back(id);
+  return id;
+}
+
+bool JobGraph::settled() const {
+  for (const Node& node : nodes_)
+    if (node.outcome.state == NodeState::pending ||
+        node.outcome.state == NodeState::cancelled)
+      return false;
+  return true;
+}
+
+void JobGraph::run_serial(const CancellationToken& cancel) {
+  // Ids are topologically ordered by construction, so a plain in-order
+  // sweep respects every edge. Dependencies of an unsettled node are
+  // either settled from a previous run() or earlier in this sweep.
+  for (Node& node : nodes_) {
+    if (node.outcome.state == NodeState::done ||
+        node.outcome.state == NodeState::failed)
+      continue;
+    if (cancel.cancelled()) {
+      node.outcome = {NodeState::cancelled, nullptr};
+      continue;
+    }
+    try {
+      node.fn();
+      node.outcome = {NodeState::done, nullptr};
+    } catch (...) {
+      node.outcome = {NodeState::failed, std::current_exception()};
+    }
+  }
+}
+
+void JobGraph::settle_locked(NodeId id, NodeOutcome outcome,
+                             std::vector<NodeId>& ready_out) {
+  Node& node = nodes_[id];
+  node.outcome = std::move(outcome);
+  --unsettled_;
+  for (const NodeId dep : node.dependents) {
+    Node& dependent = nodes_[dep];
+    // Dependents settled in an earlier run() keep their outcome; only
+    // pending ones are waiting on this edge.
+    if (dependent.outcome.state != NodeState::pending) continue;
+    if (--dependent.deps_remaining == 0) ready_out.push_back(dep);
+  }
+}
+
+void JobGraph::execute(NodeId id, ThreadPool& pool,
+                       const CancellationToken& cancel) {
+  NodeOutcome outcome;
+  if (cancel.cancelled()) {
+    outcome = {NodeState::cancelled, nullptr};
+    XORIDX_OBS_COUNT("engine.graph_nodes_cancelled", 1);
+  } else {
+    try {
+      nodes_[id].fn();
+      outcome = {NodeState::done, nullptr};
+    } catch (...) {
+      outcome = {NodeState::failed, std::current_exception()};
+    }
+  }
+
+  std::vector<NodeId> ready;
+  {
+    std::lock_guard lock(mutex_);
+    settle_locked(id, std::move(outcome), ready);
+    // Notify while still holding the mutex: run()'s waiter may destroy
+    // the graph the moment it observes unsettled_ == 0, and it can only
+    // observe that after we release the lock — an unlocked notify could
+    // still be touching the condition variable at that point.
+    if (unsettled_ == 0) {
+      settled_cv_.notify_all();
+      return;  // nothing ready when the graph just settled
+    }
+  }
+  for (const NodeId next : ready)
+    pool.submit([this, next, &pool, cancel] { execute(next, pool, cancel); });
+}
+
+void JobGraph::run(ThreadPool* pool, CancellationToken cancel) {
+  if (pool == nullptr) {
+    run_serial(cancel);
+    return;
+  }
+
+  std::vector<NodeId> ready;
+  {
+    std::lock_guard lock(mutex_);
+    unsettled_ = 0;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      Node& node = nodes_[id];
+      if (node.outcome.state == NodeState::done ||
+          node.outcome.state == NodeState::failed)
+        continue;
+      node.outcome = {NodeState::pending, nullptr};
+      ++unsettled_;
+    }
+    if (unsettled_ == 0) return;
+    // Deps remaining = pending deps only; settled deps are already met.
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      Node& node = nodes_[id];
+      if (node.outcome.state != NodeState::pending) continue;
+      node.deps_remaining = 0;
+    }
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      const Node& node = nodes_[id];
+      for (const NodeId dep : node.dependents)
+        if (nodes_[dep].outcome.state == NodeState::pending &&
+            node.outcome.state == NodeState::pending)
+          ++nodes_[dep].deps_remaining;
+    }
+    for (NodeId id = 0; id < nodes_.size(); ++id)
+      if (nodes_[id].outcome.state == NodeState::pending &&
+          nodes_[id].deps_remaining == 0)
+        ready.push_back(id);
+  }
+
+  for (const NodeId id : ready)
+    pool->submit([this, id, pool, cancel] { execute(id, *pool, cancel); });
+
+  std::unique_lock lock(mutex_);
+  settled_cv_.wait(lock, [this] { return unsettled_ == 0; });
+}
+
+}  // namespace xoridx::engine

@@ -1,0 +1,100 @@
+// JobGraph: a resumable, cancellable DAG of engine work items.
+//
+// Campaign::run used to be a blocking loop over a flat job list; the
+// serving layer needs finer control — per-cell jobs with explicit
+// dependencies (shared-prefix work like the per-(trace, geometry)
+// baseline simulation runs once, before the cells that read it), a
+// cancellation token checked at node boundaries, and completion
+// tracking per graph rather than per pool, so many graphs can share one
+// ThreadPool without waiting on each other's work.
+//
+// Semantics:
+//   - A dependency edge is a scheduling constraint only: a node runs
+//     after its dependencies settle, whether they succeeded or failed.
+//     (Campaign relies on this: its shared-prefix caches retry a failed
+//     build inline, so dependents must still run to preserve the
+//     blocking path's error behavior.)
+//   - A node that throws settles as `failed` with the exception
+//     captured; the graph keeps running — callers decide what a failure
+//     means (Campaign::run surfaces the first one, the daemon records a
+//     per-cell error).
+//   - Cancellation is checked immediately before a node runs: once the
+//     token fires, unstarted nodes settle as `cancelled` without
+//     executing. Running nodes always finish — results stay exact.
+//   - run() is resumable: calling it again re-arms `cancelled` nodes
+//     and executes everything not yet done/failed, keeping completed
+//     outcomes. A fully-settled graph returns immediately.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "engine/cancellation.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace xoridx::engine {
+
+class JobGraph {
+ public:
+  using NodeId = std::size_t;
+
+  enum class NodeState { pending, done, failed, cancelled };
+
+  struct NodeOutcome {
+    NodeState state = NodeState::pending;
+    std::exception_ptr error;  ///< set iff state == failed
+  };
+
+  /// Add a node. Every dependency must name an already-added node
+  /// (id < the new node's id) — the graph is acyclic by construction.
+  /// Throws std::invalid_argument on a forward/self dependency.
+  NodeId add(std::function<void()> fn, std::vector<NodeId> deps = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Execute every unsettled node on `pool` and block until the graph
+  /// settles. Ready nodes are submitted in id order; nodes whose last
+  /// dependency settles become ready immediately. Not reentrant: one
+  /// run() at a time per graph (distinct graphs may run concurrently on
+  /// one pool). With `pool == nullptr` the graph runs inline on the
+  /// calling thread in id order — the serial reference path, no pool
+  /// overhead.
+  void run(ThreadPool* pool, CancellationToken cancel = {});
+
+  /// Outcome of one node; valid after run() returns.
+  [[nodiscard]] const NodeOutcome& outcome(NodeId id) const {
+    return nodes_.at(id).outcome;
+  }
+
+  /// True when every node is done or failed (nothing pending/cancelled).
+  [[nodiscard]] bool settled() const;
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::vector<NodeId> dependents;
+    // Run-scoped scheduling state (guarded by mutex_ during run()).
+    std::size_t deps_remaining = 0;
+    NodeOutcome outcome;
+  };
+
+  void run_serial(const CancellationToken& cancel);
+  /// Execute one node (cancellation checked here), settle it, and
+  /// submit newly-ready dependents. Called on pool workers.
+  void execute(NodeId id, ThreadPool& pool, const CancellationToken& cancel);
+  /// Settle a node and return the dependents that became ready.
+  /// Caller must hold mutex_.
+  void settle_locked(NodeId id, NodeOutcome outcome,
+                     std::vector<NodeId>& ready_out);
+
+  std::vector<Node> nodes_;
+  std::mutex mutex_;
+  std::condition_variable settled_cv_;
+  std::size_t unsettled_ = 0;  ///< run-scoped: nodes not yet settled
+};
+
+}  // namespace xoridx::engine

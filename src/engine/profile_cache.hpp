@@ -12,6 +12,16 @@
 // address: two distinct Trace objects with equal content share one entry,
 // a file-backed streaming trace shares with its in-memory copy, and
 // nothing requires the caller to keep a particular object alive.
+//
+// An optional byte budget (set_byte_budget) bounds resident profile
+// memory with least-recently-used eviction: when a completed build
+// pushes the cached total past the budget, the stalest ready entries are
+// dropped until the total fits again. Entries still building are never
+// evicted (waiters share their future), the entry just built/hit is
+// always retained (so the budget is a soft cap, never thrashing the
+// working profile), and readers holding a ProfilePtr keep their profile
+// alive past eviction — the budget bounds what the cache retains, not
+// what callers borrowed.
 #pragma once
 
 #include <atomic>
@@ -60,6 +70,17 @@ class ProfileCache {
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
   [[nodiscard]] std::size_t size() const;
 
+  /// Cap resident profile bytes (0 = unlimited, the default). Takes
+  /// effect immediately: shrinking below the current total evicts the
+  /// least-recently-used ready entries right away.
+  void set_byte_budget(std::size_t bytes);
+  [[nodiscard]] std::size_t byte_budget() const;
+  /// Bytes of completed profiles currently retained by the cache.
+  [[nodiscard]] std::size_t bytes() const;
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
+
   void clear();
 
  private:
@@ -72,14 +93,26 @@ class ProfileCache {
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept;
   };
+  struct Entry {
+    std::shared_future<ProfilePtr> future;
+    std::size_t bytes = 0;        ///< 0 while the build is in flight
+    std::uint64_t last_use = 0;   ///< LRU stamp from use_clock_
+  };
 
   template <typename BuildFn>
   ProfilePtr get_or_build_impl(const Key& key, BuildFn&& build);
+  /// Evict LRU ready entries (never `keep`) until the budget fits.
+  /// Caller must hold mutex_.
+  void evict_to_budget_locked(const Key* keep);
 
   mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_future<ProfilePtr>, KeyHash> entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::size_t byte_budget_ = 0;  ///< 0 = unlimited
+  std::size_t bytes_ = 0;        ///< total of ready entries' bytes
+  std::uint64_t use_clock_ = 0;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace xoridx::engine

@@ -62,21 +62,42 @@ std::string format_percent(double value) {
   return buf;
 }
 
-void CsvSink::begin() {
-  os_ << "trace,cache_bytes,geometry,label,kind,accesses,baseline_misses,"
-         "misses,estimated_misses,reverted,percent_removed,compulsory,"
-         "capacity,conflict,function\n";
+const std::string& csv_header() {
+  static const std::string header =
+      "trace,cache_bytes,geometry,label,kind,accesses,baseline_misses,"
+      "misses,estimated_misses,reverted,percent_removed,compulsory,"
+      "capacity,conflict,function";
+  return header;
 }
 
+std::string csv_row(const JobResult& r) {
+  std::string out;
+  const auto append = [&out](const std::string& field) {
+    if (!out.empty()) out += ',';
+    out += field;
+  };
+  append(csv_field(r.trace_name));
+  append(std::to_string(r.geometry.size_bytes));
+  append(csv_field(r.geometry.to_string()));
+  append(csv_field(r.label));
+  append(r.kind);
+  append(std::to_string(r.accesses));
+  append(std::to_string(r.baseline_misses));
+  append(std::to_string(r.misses));
+  append(std::to_string(r.estimated_misses));
+  append(r.reverted ? "1" : "0");
+  append(format_percent(r.percent_removed()));
+  append(std::to_string(r.breakdown.compulsory));
+  append(std::to_string(r.breakdown.capacity));
+  append(std::to_string(r.breakdown.conflict));
+  append(csv_field(flatten(r.function_description)));
+  return out;
+}
+
+void CsvSink::begin() { os_ << csv_header() << '\n'; }
+
 void CsvSink::write(const JobResult& r) {
-  os_ << csv_field(r.trace_name) << ',' << r.geometry.size_bytes << ','
-      << csv_field(r.geometry.to_string()) << ',' << csv_field(r.label) << ','
-      << r.kind << ',' << r.accesses << ',' << r.baseline_misses << ','
-      << r.misses << ',' << r.estimated_misses << ','
-      << (r.reverted ? 1 : 0) << ',' << format_percent(r.percent_removed())
-      << ',' << r.breakdown.compulsory << ',' << r.breakdown.capacity << ','
-      << r.breakdown.conflict << ','
-      << csv_field(flatten(r.function_description)) << '\n';
+  os_ << csv_row(r) << '\n';
   os_.flush();
 }
 

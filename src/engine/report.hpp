@@ -58,4 +58,14 @@ class JsonSink final : public ResultSink {
 /// float-formatting drift between runs).
 [[nodiscard]] std::string format_percent(double value);
 
+/// The CSV header line CsvSink emits, without the trailing newline.
+/// Exposed so remote frontends (the serving daemon) can frame rows in
+/// their own transport while keeping the bytes identical to a CsvSink
+/// stream of the same results.
+[[nodiscard]] const std::string& csv_header();
+
+/// One result serialized exactly as CsvSink would write it, without the
+/// trailing newline.
+[[nodiscard]] std::string csv_row(const JobResult& result);
+
 }  // namespace xoridx::engine

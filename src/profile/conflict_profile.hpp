@@ -84,6 +84,15 @@ class ConflictProfile {
   /// Number of distinct nonzero vectors with a count.
   [[nodiscard]] std::size_t distinct_vectors() const;
 
+  /// Resident bytes charged against cache budgets: the counter table
+  /// plus the subset-sum view at full size, whether or not the view has
+  /// been built yet — byte accounting (ProfileCache's LRU budget) must
+  /// not depend on which reader touched the zeta view first.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return 2 * table_.size() * sizeof(std::uint64_t) + sizeof(*this) +
+           sizeof(ZetaCache);
+  }
+
   // Bookkeeping from the profiling pass.
   std::uint64_t references = 0;
   std::uint64_t compulsory_refs = 0;

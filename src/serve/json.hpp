@@ -1,0 +1,114 @@
+// Minimal JSON value for the serving daemon's wire protocol.
+//
+// The daemon speaks line-delimited JSON over TCP; the repo deliberately
+// has no third-party dependencies, so this is a small, strict
+// parser/serializer covering exactly what the protocol needs: objects,
+// arrays, strings (with \uXXXX escapes parsed to UTF-8), integers,
+// doubles, booleans and null. Objects preserve insertion order, so
+// serialized responses are deterministic and diff-friendly; duplicate
+// keys are a parse error. Parsing follows the Status model — a bad line
+// from a client yields an attributable parse_error, never an exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/status.hpp"
+
+namespace xoridx::serve {
+
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, integer, number, string, array, object };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool b) : kind_(Kind::boolean), bool_(b) {}        // NOLINT
+  JsonValue(std::int64_t i) : kind_(Kind::integer), int_(i) {} // NOLINT
+  JsonValue(std::uint64_t u)                                   // NOLINT
+      : kind_(Kind::integer), int_(static_cast<std::int64_t>(u)) {}
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(double d) : kind_(Kind::number), num_(d) {}          // NOLINT
+  JsonValue(std::string s)                                       // NOLINT
+      : kind_(Kind::string), str_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}        // NOLINT
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::array;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::object;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::array; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::string;
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return kind_ == Kind::boolean;
+  }
+  /// Integers and doubles both count as numbers.
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::integer || kind_ == Kind::number;
+  }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const noexcept {
+    return kind_ == Kind::number ? static_cast<std::int64_t>(num_) : int_;
+  }
+  [[nodiscard]] double as_double() const noexcept {
+    return kind_ == Kind::integer ? static_cast<double>(int_) : num_;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<Member>& members() const noexcept {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr when absent / not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  void push_back(JsonValue v) { items_.push_back(std::move(v)); }
+  /// Append an object member (insertion order is serialization order).
+  void set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Compact single-line serialization (never contains a raw newline,
+  /// so every value is a valid NDJSON frame).
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace (or any
+/// other deviation) is a parse_error naming the byte offset.
+[[nodiscard]] api::Result<JsonValue> parse_json(std::string_view text);
+
+/// `s` as a quoted JSON string literal (used for embedding raw text like
+/// an OpenMetrics payload into a handwritten frame).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+}  // namespace xoridx::serve

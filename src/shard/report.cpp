@@ -253,7 +253,7 @@ Result<Cell> decode_cell(Cursor& cursor) {
     if (!cursor.u8(code) || !cursor.str(e.message) || !cursor.str(e.trace) ||
         !cursor.str(e.geometry) || !cursor.str(e.strategy))
       return truncated(cursor);
-    if (code > static_cast<std::uint8_t>(StatusCode::internal))
+    if (code > static_cast<std::uint8_t>(StatusCode::busy))
       return Status(StatusCode::io_error,
                     "shard report cell carries unknown status code " +
                         std::to_string(code));

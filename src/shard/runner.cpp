@@ -27,6 +27,16 @@ CellError cell_error_from(const Status& status) {
   return error;
 }
 
+/// The per-cell marker for cells abandoned by a fired cancellation
+/// token (SIGINT/SIGTERM, a daemon cancel command). Same wording for
+/// every abandoned cell, so partial reports diff cleanly.
+CellError cancelled_cell_error() {
+  CellError error;
+  error.code = StatusCode::cancelled;
+  error.message = "cancelled before the cell ran";
+  return error;
+}
+
 /// One-cell request: the deterministic fallback unit. Whatever made the
 /// batched trace request fail, re-running each cell alone yields either
 /// its row or its own attributed Status — independent of which sibling
@@ -40,6 +50,8 @@ ExplorationRequest one_cell(const ExplorationRequest& request,
   sub.strategies = {request.strategies[strategy]};
   sub.hashed_bits = request.hashed_bits;
   sub.num_threads = 1;
+  sub.cancel = request.cancel;
+  sub.profile_cache_bytes = request.profile_cache_bytes;
   return sub;
 }
 
@@ -95,6 +107,20 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
              strategy;
     };
 
+    // A fired token marks every cell of the remaining slices instead of
+    // running them: the report stays valid (every owned cell carried,
+    // each abandoned one with a cancelled error) and mergeable, it is
+    // just partial.
+    if (request.cancel.cancelled()) {
+      for (const std::size_t g : slice.geometries)
+        for (std::size_t s = 0; s < strategy_count; ++s) {
+          report.cells.push_back(
+              Cell{cell_index(g, s), cancelled_cell_error()});
+          XORIDX_OBS_COUNT("shard.cell_errors", 1);
+        }
+      continue;
+    }
+
     ExplorationRequest sub;
     sub.traces = {request.traces[slice.trace]};
     for (const std::size_t g : slice.geometries)
@@ -102,6 +128,8 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
     sub.strategies = request.strategies;
     sub.hashed_bits = request.hashed_bits;
     sub.num_threads = request.num_threads;
+    sub.cancel = request.cancel;
+    sub.profile_cache_bytes = request.profile_cache_bytes;
 
     XORIDX_SPAN_NAMED(span, "shard", "trace_slice");
     XORIDX_SPAN_DETAIL(span, request.traces[slice.trace].name());
@@ -120,6 +148,19 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
               Cell{cell_index(g, s), std::move(batched->rows[row++])});
       XORIDX_OBS_COUNT("shard.cells_done",
                        slice.geometries.size() * strategy_count);
+      continue;
+    }
+    // A cancelled batch is not a failure to diagnose: mark the slice's
+    // cells cancelled (the remaining slices are handled by the check at
+    // the top of the loop) rather than degrading to one-cell retries
+    // that would each immediately see the fired token.
+    if (batched.status().code() == StatusCode::cancelled) {
+      for (const std::size_t g : slice.geometries)
+        for (std::size_t s = 0; s < strategy_count; ++s) {
+          report.cells.push_back(
+              Cell{cell_index(g, s), cancelled_cell_error()});
+          XORIDX_OBS_COUNT("shard.cell_errors", 1);
+        }
       continue;
     }
     // The batch failed mid-sweep: degrade to one cell per request so
@@ -141,6 +182,12 @@ api::Result<Report> run_shard(const api::ExplorationRequest& request,
     }
     for (const std::size_t g : slice.geometries) {
       for (std::size_t s = 0; s < strategy_count; ++s) {
+        if (request.cancel.cancelled()) {
+          report.cells.push_back(
+              Cell{cell_index(g, s), cancelled_cell_error()});
+          XORIDX_OBS_COUNT("shard.cell_errors", 1);
+          continue;
+        }
         if (reporter != nullptr)
           reporter->set_activity(
               "cell " + std::to_string(cell_index(g, s)) + ": trace '" +
