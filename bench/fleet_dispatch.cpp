@@ -1,0 +1,223 @@
+// Fleet dispatch overhead: what multi-process dispatch costs on top of
+// the in-process sharded run. For each shard count the bench runs the
+// same campaign twice — once as an in-process run_shard loop, once
+// through fleet::dispatch_fleet with the local exec launcher (the bench
+// binary re-execs itself as the shard worker) — and reports both wall
+// times plus the spawn/heartbeat/merge overhead their difference
+// isolates. Every merged CSV is checked byte-identical to the unsharded
+// run, so the bench doubles as an end-to-end identity smoke over
+// plan -> spawn -> run -> land -> merge.
+//
+//   fleet_dispatch [--full] [--workloads K] [--shards N,N,...] [--json]
+//
+// With --json the machine-readable report (bench_util.hpp JsonReport
+// shape, one row per shard count) goes to stdout and the human-readable
+// table to stderr.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workloads/workload.hpp"
+#include "xoridx/fleet.hpp"
+#include "xoridx/shard.hpp"
+
+namespace {
+
+using namespace xoridx;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+api::ExplorationRequest make_request(workloads::Scale scale,
+                                     std::size_t num_workloads) {
+  api::ExplorationRequest request;
+  request.hashed_bits = bench::paper_hashed_bits;
+  const std::vector<std::string>& names =
+      workloads::workload_names(workloads::Suite::table2);
+  for (std::size_t i = 0; i < names.size() && i < num_workloads; ++i) {
+    workloads::Workload w = workloads::make_workload(names[i], scale);
+    request.traces.push_back(api::TraceRef::memory(w.name, std::move(w.data)));
+  }
+  for (const cache::CacheGeometry& g : bench::paper_geometries())
+    request.geometries.emplace_back(g);
+  request.strategies = api::parse_strategies("base,perm:2,perm").value();
+  return request;
+}
+
+std::string self_executable() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "fleet_dispatch";
+  buf[n] = '\0';
+  return buf;
+}
+
+/// Worker half of the self-exec loop:
+///   fleet_dispatch --worker i/N <report> <heartbeat> [--full]
+///                  [--workloads K]
+/// Rebuilds the identical request (same make_request, same binary) and
+/// lands one shard report.
+int run_worker(int argc, char** argv) {
+  bool full = false;
+  std::size_t num_workloads = 2;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc)
+      num_workloads = static_cast<std::size_t>(std::atoi(argv[++i]));
+  }
+  const auto ref = shard::parse_shard_ref(argv[2]);
+  if (!ref.ok()) return 64;
+  fleet::HeartbeatWriter heartbeat(argv[4]);
+  if (!heartbeat.start().ok()) return 65;
+  const api::ExplorationRequest request = make_request(
+      full ? workloads::Scale::full : workloads::Scale::small,
+      num_workloads);
+  const api::Result<shard::ShardPlan> plan =
+      shard::ShardPlan::partition(request, ref->count);
+  if (!plan.ok()) return 66;
+  const api::Result<shard::Report> report =
+      shard::run_shard(request, *plan, ref->index);
+  if (!report.ok()) return 67;
+  return shard::save_report(*report, argv[3]).ok() ? 0 : 68;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 4 && std::strcmp(argv[1], "--worker") == 0)
+    return run_worker(argc, argv);
+
+  bool full = false;
+  bool json = false;
+  std::size_t num_workloads = 2;
+  std::vector<std::uint32_t> shard_counts = {1, 2, 3, 4};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--workloads") == 0 && i + 1 < argc) {
+      const int v = std::atoi(argv[++i]);
+      if (v > 0) num_workloads = static_cast<std::size_t>(v);
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts.clear();
+      std::stringstream ss(argv[++i]);
+      std::string item;
+      while (std::getline(ss, item, ','))
+        if (const int v = std::atoi(item.c_str()); v > 0)
+          shard_counts.push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  std::FILE* out = json ? stderr : stdout;
+  const api::ExplorationRequest request = make_request(
+      full ? workloads::Scale::full : workloads::Scale::small,
+      num_workloads);
+
+  const Clock::time_point full_start = Clock::now();
+  const api::Result<shard::Report> unsharded = shard::run_campaign(request);
+  const double unsharded_s = seconds_since(full_start);
+  if (!unsharded.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n",
+                 unsharded.status().to_string().c_str());
+    return 1;
+  }
+  std::ostringstream full_csv;
+  unsharded->write_csv(full_csv);
+  std::fprintf(out,
+               "fleet dispatch: %llu cells (%zu traces x %zu geometries x "
+               "%zu strategies), %s traces\n",
+               static_cast<unsigned long long>(unsharded->total_cells),
+               request.traces.size(), request.geometries.size(),
+               request.strategies.size(), full ? "full" : "small");
+  std::fprintf(out, "unsharded run: %.3f s\n\n", unsharded_s);
+  std::fprintf(out, "%7s %12s %12s %12s %9s %10s\n", "shards", "inproc(s)",
+               "fleet(s)", "overhead(s)", "launches", "identical");
+
+  bench::JsonReport report("fleet_dispatch");
+  const std::string work_root =
+      (std::filesystem::temp_directory_path() / "xoridx_fleet_bench")
+          .string();
+  std::filesystem::remove_all(work_root);
+  bool all_identical = true;
+
+  for (const std::uint32_t n : shard_counts) {
+    // In-process baseline: the same shards, no processes.
+    const Clock::time_point inproc_start = Clock::now();
+    {
+      const api::Result<shard::ShardPlan> plan =
+          shard::ShardPlan::partition(request, n);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "FAIL: %s\n", plan.status().to_string().c_str());
+        return 1;
+      }
+      std::vector<shard::Report> reports;
+      for (std::uint32_t i = 1; i <= n; ++i) {
+        api::Result<shard::Report> r = shard::run_shard(request, *plan, i);
+        if (!r.ok()) {
+          std::fprintf(stderr, "FAIL shard %u/%u: %s\n", i, n,
+                       r.status().to_string().c_str());
+          return 1;
+        }
+        reports.push_back(std::move(*r));
+      }
+      if (!shard::merge_reports(std::move(reports)).ok()) return 1;
+    }
+    const double inproc_s = seconds_since(inproc_start);
+
+    fleet::ExecLauncher launcher;
+    fleet::FleetOptions options;
+    options.num_shards = n;
+    options.work_dir = work_root + "/n" + std::to_string(n);
+    options.launcher = &launcher;
+    options.poll_interval_s = 0.01;
+    options.worker_argv = {self_executable(), "--worker",
+                           "{shard}/{count}",  "{report}",
+                           "{heartbeat}",      "--workloads",
+                           std::to_string(num_workloads)};
+    if (full) options.worker_argv.push_back("--full");
+
+    const Clock::time_point fleet_start = Clock::now();
+    const api::Result<fleet::FleetResult> result =
+        fleet::dispatch_fleet(request, options);
+    const double fleet_s = seconds_since(fleet_start);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL fleet %u: %s\n", n,
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::ostringstream merged_csv;
+    result->merged.write_csv(merged_csv);
+    const bool identical = merged_csv.str() == full_csv.str();
+    all_identical = all_identical && identical;
+
+    std::fprintf(out, "%7u %12.3f %12.3f %12.3f %9llu %10s\n", n, inproc_s,
+                 fleet_s, fleet_s - inproc_s,
+                 static_cast<unsigned long long>(result->launches),
+                 identical ? "yes" : "NO");
+    report.row("n" + std::to_string(n))
+        .num("shards", std::uint64_t{n})
+        .num("inproc_s", inproc_s)
+        .num("fleet_s", fleet_s)
+        .num("overhead_s", fleet_s - inproc_s)
+        .num("launches", std::uint64_t{result->launches})
+        .boolean("identical", identical);
+  }
+
+  std::filesystem::remove_all(work_root);
+  if (json) report.write(std::cout);
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: fleet merge diverged from unsharded run\n");
+    return 1;
+  }
+  return 0;
+}

@@ -22,6 +22,12 @@
 //       the process runs only its share of the campaign's cells (every
 //       shard computes the same partition from the same arguments), and
 //       --report-out saves the cells as a mergeable shard report.
+//   xoridx_cli fleet <workloads> --shards N [options]
+//       Run a sharded campaign across worker processes: partition with
+//       the shard plan, launch one worker per shard (local fork/exec or
+//       ssh), watch heartbeats, retry shards whose reports never arrive
+//       or fail validation, and merge incrementally. The merged CSV is
+//       byte-identical to the unsharded engine run.
 //   xoridx_cli merge <shard.rpt>... [--out merged.rpt] [--csv file|-]
 //           [--fleet-metrics-out m.prom]
 //       Merge shard reports back into the unsharded campaign report;
@@ -50,13 +56,16 @@
 //   xoridx_cli --version
 //       Print the library version and supported trace-format versions.
 #include <algorithm>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -69,6 +78,7 @@
 #include "hash/serialize.hpp"
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
+#include "xoridx/fleet.hpp"
 #include "xoridx/obs.hpp"
 #include "xoridx/serve.hpp"
 #include "xoridx/shard.hpp"
@@ -113,7 +123,8 @@ int usage() {
                "[--format csv|json]\n"
                "      [--trace file.bin]... [--mmap] [--small] [--out file]\n"
                "      [--shard i/N] [--report-out file] "
-               "[--profile-cache-mb N]\n"
+               "[--heartbeat file]\n"
+               "      [--profile-cache-mb N]\n"
                "      [--metrics-out m.json] [--trace-out spans.json] "
                "[--progress[=ms]]\n"
                "    strategy specs: %s\n"
@@ -121,6 +132,19 @@ int usage() {
                "perm:<fan_in>)\n"
                "    with --report-out, a crash dumps the flight recorder "
                "to <report>.crash\n"
+               "  xoridx_cli fleet <table2|powerstone|name[,name...]> "
+               "--shards N\n"
+               "      [--launcher exec|ssh:<host>] [--worker path] "
+               "[--work-dir dir]\n"
+               "      [--max-attempts N] [--max-parallel N] "
+               "[--heartbeat-timeout s]\n"
+               "      [--caches B,B,...] [--classes spec,...] "
+               "[--trace file.bin]...\n"
+               "      [--mmap] [--small] [--threads N] "
+               "[--profile-cache-mb N]\n"
+               "      [--out file] [--report-out file] "
+               "[--fleet-metrics-out m.prom]\n"
+               "      [--progress[=ms]] [--inject-kill i]\n"
                "  xoridx_cli merge <shard.rpt>... [--out merged.rpt] "
                "[--csv file|-]\n"
                "      [--fleet-metrics-out m.prom]\n"
@@ -145,6 +169,29 @@ int fail(const api::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
   return 1;
 }
+
+/// Strict numeric argument: a fully-consumed decimal in [min, max].
+/// Anything else — empty, trailing junk, overflow, out of range —
+/// prints "error: <what> wants <wants>, got '<text>'" and returns
+/// nullopt so the caller exits 2. Every numeric flag and positional
+/// goes through here: atoi-style parsing silently turned garbage like
+/// `--profile-cache-mb abc` into 0, disabling the option.
+std::optional<long> parse_number(const char* what, const char* wants,
+                                 const char* text, long min, long max) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = text != nullptr ? std::strtol(text, &end, 10) : 0;
+  if (text == nullptr || *text == '\0' || end == nullptr || *end != '\0' ||
+      errno == ERANGE || value < min || value > max) {
+    std::fprintf(stderr, "error: %s wants %s, got '%s'\n", what, wants,
+                 text != nullptr ? text : "");
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Largest cache size GeometrySpec can carry (its fields are 32-bit).
+constexpr long max_cache_bytes = 0xFFFFFFFFL;
 
 /// Write the --metrics-out / --trace-out files (either may be empty).
 /// Observability outputs only: the CSV/report bytes on stdout and disk
@@ -215,8 +262,11 @@ int cmd_stats(int argc, char** argv) {
 
 int cmd_profile(int argc, char** argv) {
   if (argc < 4) return usage();
-  const api::GeometrySpec geom(
-      static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
+  const auto cache_bytes =
+      parse_number("profile <cache_bytes>", "a positive cache size in bytes",
+                   argv[3], 1, max_cache_bytes);
+  if (!cache_bytes) return 2;
+  const api::GeometrySpec geom(static_cast<std::uint32_t>(*cache_bytes), 4);
   const api::Result<profile::ConflictProfile> built = api::build_profile(
       api::TraceRef::file(argv[2]), geom, hashed_bits);
   if (!built.ok()) return fail(built.status());
@@ -247,16 +297,23 @@ int cmd_profile(int argc, char** argv) {
 
 int cmd_optimize(int argc, char** argv) {
   if (argc < 5) return usage();
-  const api::GeometrySpec geom(
-      static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
+  const auto cache_bytes =
+      parse_number("optimize <cache_bytes>", "a positive cache size in bytes",
+                   argv[3], 1, max_cache_bytes);
+  if (!cache_bytes) return 2;
+  const api::GeometrySpec geom(static_cast<std::uint32_t>(*cache_bytes), 4);
   // The class argument is a strategy spec ("permutation" and "general"
   // are grammar aliases). The fan-in argument and the paper's safety
   // fallback apply where the strategy supports them, matching the
   // pre-API CLI (fan-in was always accepted, ignored by bit-select).
   api::Result<api::Strategy> strategy = api::parse_strategy(argv[4]);
   if (!strategy.ok()) return fail(strategy.status());
-  if (argc > 5 && std::atoi(argv[5]) > 0)
-    strategy->with_fan_in(std::atoi(argv[5]));
+  if (argc > 5) {
+    const auto fan_in = parse_number("optimize [fan_in]",
+                                     "a positive fan-in", argv[5], 1, 64);
+    if (!fan_in) return 2;
+    strategy->with_fan_in(static_cast<int>(*fan_in));
+  }
   strategy->with_revert();
 
   const api::Result<api::TuneOutcome> tuned = api::tune(
@@ -278,8 +335,11 @@ int cmd_optimize(int argc, char** argv) {
 
 int cmd_simulate(int argc, char** argv) {
   if (argc < 4) return usage();
-  const api::GeometrySpec geom(
-      static_cast<std::uint32_t>(std::atoi(argv[3])), 4);
+  const auto cache_bytes =
+      parse_number("simulate <cache_bytes>", "a positive cache size in bytes",
+                   argv[3], 1, max_cache_bytes);
+  if (!cache_bytes) return 2;
+  const api::GeometrySpec geom(static_cast<std::uint32_t>(*cache_bytes), 4);
   std::unique_ptr<hash::IndexFunction> f;
   if (argc > 4) {
     std::ifstream is(argv[4]);
@@ -314,6 +374,60 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
+/// Build the sweep grid shared by `engine` and `fleet`: workload
+/// selector → in-memory traces, plus trace files, cache sizes →
+/// geometries, class specs → strategies. The fleet driver and its
+/// workers must construct identical requests (the shard plan
+/// fingerprint covers trace content, geometries and strategies), so
+/// both commands go through this one function. Returns an exit code,
+/// 0 on success.
+int build_sweep_request(const std::string& selector, workloads::Scale scale,
+                        const std::vector<std::string>& trace_files,
+                        bool mmap_traces,
+                        const std::vector<std::string>& cache_list,
+                        const std::string& class_specs,
+                        api::ExplorationRequest& request) {
+  std::vector<std::string> names;
+  if (selector == "table2") {
+    names = workloads::workload_names(workloads::Suite::table2);
+  } else if (selector == "powerstone") {
+    names = workloads::workload_names(workloads::Suite::powerstone);
+  } else if (selector != "-") {
+    names = split(selector, ',');
+  }
+  for (const std::string& name : names) {
+    workloads::Workload w = workloads::make_workload(name, scale);
+    request.traces.push_back(
+        api::TraceRef::memory(w.name, std::move(w.data)));
+  }
+  // Trace files are opened through the trace store: --mmap streams them
+  // chunk by chunk (O(chunk) resident), otherwise they load eagerly.
+  for (const std::string& file : trace_files)
+    request.traces.push_back(mmap_traces ? api::TraceRef::streaming(file)
+                                         : api::TraceRef::file(file));
+  if (request.traces.empty()) {
+    std::fprintf(stderr, "no traces selected\n");
+    return usage();
+  }
+
+  for (const std::string& bytes : cache_list) {
+    const auto n = parse_number("--caches", "a positive cache size in bytes",
+                                bytes.c_str(), 1, max_cache_bytes);
+    if (!n) return 2;
+    request.geometries.emplace_back(static_cast<std::uint32_t>(*n), 4);
+  }
+  api::Result<std::vector<api::Strategy>> strategies =
+      api::parse_strategies(class_specs);
+  if (!strategies.ok()) {
+    // The parse error names the offending token.
+    std::fprintf(stderr, "error: %s\n",
+                 strategies.status().to_string().c_str());
+    return 2;
+  }
+  request.strategies = std::move(*strategies);
+  return 0;
+}
+
 int cmd_engine(int argc, char** argv) {
   if (argc < 3) return usage();
 
@@ -330,6 +444,7 @@ int cmd_engine(int argc, char** argv) {
   bool mmap_traces = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string heartbeat_file;
   bool progress = false;
   double progress_interval_s = 1.0;
 
@@ -352,11 +467,11 @@ int cmd_engine(int argc, char** argv) {
       class_specs = v;
     } else if (arg == "--threads") {
       const char* v = value();
-      if (!v) return usage();
-      // Negative or unparsable values fall back to 0 = all hardware
-      // threads rather than wrapping to a huge unsigned count.
-      const int n = std::atoi(v);
-      request.num_threads = n > 0 ? static_cast<unsigned>(n) : 0u;
+      // 0 keeps the "all hardware threads" default explicit.
+      const auto n =
+          parse_number("--threads", "a thread count (0 = all)", v, 0, 1024);
+      if (!n) return 2;
+      request.num_threads = static_cast<unsigned>(*n);
     } else if (arg == "--format") {
       const char* v = value();
       if (!v || (std::strcmp(v, "csv") != 0 && std::strcmp(v, "json") != 0))
@@ -380,17 +495,15 @@ int cmd_engine(int argc, char** argv) {
       report_out = v;
     } else if (arg == "--profile-cache-mb") {
       const char* v = value();
+      const auto mb = parse_number("--profile-cache-mb",
+                                   "a positive MiB budget", v, 1,
+                                   std::numeric_limits<long>::max() >> 20);
+      if (!mb) return 2;
+      request.profile_cache_bytes = static_cast<std::size_t>(*mb) << 20;
+    } else if (arg == "--heartbeat") {
+      const char* v = value();
       if (!v) return usage();
-      const long mb = std::atol(v);
-      if (mb <= 0) {
-        std::fprintf(stderr,
-                     "error: --profile-cache-mb wants a positive MiB "
-                     "budget, got '%s'\n",
-                     v);
-        return 2;
-      }
-      request.profile_cache_bytes =
-          static_cast<std::size_t>(mb) << 20;
+      heartbeat_file = v;
     } else if (arg == "--metrics-out") {
       const char* v = value();
       if (!v) return usage();
@@ -404,16 +517,11 @@ int cmd_engine(int argc, char** argv) {
     } else if (arg.rfind("--progress=", 0) == 0) {
       progress = true;
       const std::string token = arg.substr(std::strlen("--progress="));
-      char* end = nullptr;
-      const long ms = std::strtol(token.c_str(), &end, 10);
-      if (token.empty() || end == nullptr || *end != '\0' || ms <= 0) {
-        std::fprintf(stderr,
-                     "error: --progress wants a positive sample interval "
-                     "in milliseconds, got '%s'\n",
-                     token.c_str());
-        return 2;
-      }
-      progress_interval_s = static_cast<double>(ms) / 1000.0;
+      const auto ms = parse_number(
+          "--progress", "a positive sample interval in milliseconds",
+          token.c_str(), 1, std::numeric_limits<long>::max() / 1000);
+      if (!ms) return 2;
+      progress_interval_s = static_cast<double>(*ms) / 1000.0;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage();
@@ -429,6 +537,18 @@ int cmd_engine(int argc, char** argv) {
   // one-shot path surfaces StatusCode::cancelled.
   request.cancel = g_cancel.token();
   install_stop_handlers();
+
+  // A fleet worker starts beating before workload synthesis — trace
+  // generation can take longer than the dispatcher's heartbeat timeout,
+  // and a worker that is busy building its request is alive, not
+  // wedged. The writer's destructor removes the file on every exit
+  // path, so a clean exit never looks like a stall.
+  std::optional<fleet::HeartbeatWriter> heartbeat;
+  if (!heartbeat_file.empty()) {
+    heartbeat.emplace(heartbeat_file);
+    if (const api::Status beating = heartbeat->start(); !beating.ok())
+      return fail(beating);
+  }
 
   // --shard is validated before any trace is synthesized or loaded: a
   // malformed spec is a usage error (exit 2) naming the bad value, not
@@ -452,42 +572,11 @@ int cmd_engine(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<std::string> names;
-  const std::string selector = argv[2];
-  if (selector == "table2") {
-    names = workloads::workload_names(workloads::Suite::table2);
-  } else if (selector == "powerstone") {
-    names = workloads::workload_names(workloads::Suite::powerstone);
-  } else if (selector != "-") {
-    names = split(selector, ',');
-  }
-  for (const std::string& name : names) {
-    workloads::Workload w = workloads::make_workload(name, scale);
-    request.traces.push_back(
-        api::TraceRef::memory(w.name, std::move(w.data)));
-  }
-  // Trace files are opened through the trace store: --mmap streams them
-  // chunk by chunk (O(chunk) resident), otherwise they load eagerly.
-  for (const std::string& file : trace_files)
-    request.traces.push_back(mmap_traces ? api::TraceRef::streaming(file)
-                                         : api::TraceRef::file(file));
-  if (request.traces.empty()) {
-    std::fprintf(stderr, "no traces selected\n");
-    return usage();
-  }
-
-  for (const std::string& bytes : cache_list)
-    request.geometries.emplace_back(
-        static_cast<std::uint32_t>(std::atoi(bytes.c_str())), 4);
-  api::Result<std::vector<api::Strategy>> strategies =
-      api::parse_strategies(class_specs);
-  if (!strategies.ok()) {
-    // The parse error names the offending token.
-    std::fprintf(stderr, "error: %s\n",
-                 strategies.status().to_string().c_str());
-    return 2;
-  }
-  request.strategies = std::move(*strategies);
+  if (const int rc = build_sweep_request(argv[2], scale, trace_files,
+                                         mmap_traces, cache_list, class_specs,
+                                         request);
+      rc != 0)
+    return rc;
 
   std::ofstream file_out;
   if (!out_path.empty()) {
@@ -581,6 +670,305 @@ int cmd_engine(int argc, char** argv) {
                static_cast<unsigned long long>(report->profiles_built),
                static_cast<unsigned long long>(report->profiles_shared));
   return write_obs_outputs(metrics_out, trace_out);
+}
+
+/// Resolve this binary's path for the default fleet worker argv.
+/// /proc/self/exe is exact (immune to PATH and cwd games); argv[0] is
+/// the fallback on filesystems without procfs.
+std::string self_executable(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+std::string join(const std::vector<std::string>& items, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+int cmd_fleet(int argc, char** argv) {
+  if (argc < 3) return usage();
+
+  api::ExplorationRequest request;
+  request.hashed_bits = hashed_bits;
+  workloads::Scale scale = workloads::Scale::full;
+  std::vector<std::string> cache_list = {"1024", "4096", "16384"};
+  std::string class_specs = "base,perm:2,perm";
+  std::vector<std::string> trace_files;
+  bool mmap_traces = false;
+  long num_shards = 0;
+  long max_attempts = 3;
+  long max_parallel = 0;
+  long heartbeat_timeout_s = 30;
+  long inject_kill = 0;
+  long worker_threads = -1;      // -1: leave workers at their default
+  long profile_cache_mb = 0;     // 0: leave workers at their default
+  std::string work_dir = "xoridx-fleet.work";
+  std::string out_path;
+  std::string report_out;
+  std::string fleet_metrics_out;
+  std::string worker_path;
+  std::string launcher_spec = "exec";
+  bool progress = false;
+  double progress_interval_s = 1.0;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--shards") {
+      const auto n =
+          parse_number("--shards", "a positive shard count", value(), 1,
+                       4096);
+      if (!n) return 2;
+      num_shards = *n;
+    } else if (arg == "--max-attempts") {
+      const auto n = parse_number("--max-attempts",
+                                  "a positive attempt count", value(), 1,
+                                  100);
+      if (!n) return 2;
+      max_attempts = *n;
+    } else if (arg == "--max-parallel") {
+      const auto n = parse_number("--max-parallel",
+                                  "a worker count (0 = all shards)", value(),
+                                  0, 4096);
+      if (!n) return 2;
+      max_parallel = *n;
+    } else if (arg == "--heartbeat-timeout") {
+      const auto n = parse_number("--heartbeat-timeout",
+                                  "a timeout in seconds (0 = off)", value(),
+                                  0, 86400);
+      if (!n) return 2;
+      heartbeat_timeout_s = *n;
+    } else if (arg == "--inject-kill") {
+      const auto n = parse_number("--inject-kill", "a shard index", value(),
+                                  1, 4096);
+      if (!n) return 2;
+      inject_kill = *n;
+    } else if (arg == "--threads") {
+      const auto n = parse_number("--threads",
+                                  "a worker thread count (0 = all)", value(),
+                                  0, 1024);
+      if (!n) return 2;
+      worker_threads = *n;
+    } else if (arg == "--profile-cache-mb") {
+      const auto mb = parse_number("--profile-cache-mb",
+                                   "a positive MiB budget", value(), 1,
+                                   std::numeric_limits<long>::max() >> 20);
+      if (!mb) return 2;
+      profile_cache_mb = *mb;
+    } else if (arg == "--launcher") {
+      const char* v = value();
+      if (!v) return usage();
+      launcher_spec = v;
+    } else if (arg == "--worker") {
+      const char* v = value();
+      if (!v) return usage();
+      worker_path = v;
+    } else if (arg == "--work-dir") {
+      const char* v = value();
+      if (!v) return usage();
+      work_dir = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return usage();
+      out_path = v;
+    } else if (arg == "--report-out") {
+      const char* v = value();
+      if (!v) return usage();
+      report_out = v;
+    } else if (arg == "--fleet-metrics-out") {
+      const char* v = value();
+      if (!v) return usage();
+      fleet_metrics_out = v;
+    } else if (arg == "--caches") {
+      const char* v = value();
+      if (!v) return usage();
+      cache_list = split(v, ',');
+    } else if (arg == "--classes") {
+      const char* v = value();
+      if (!v) return usage();
+      class_specs = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (!v) return usage();
+      trace_files.push_back(v);
+    } else if (arg == "--small") {
+      scale = workloads::Scale::small;
+    } else if (arg == "--mmap") {
+      mmap_traces = true;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      progress = true;
+      const std::string token = arg.substr(std::strlen("--progress="));
+      const auto ms = parse_number(
+          "--progress", "a positive sample interval in milliseconds",
+          token.c_str(), 1, std::numeric_limits<long>::max() / 1000);
+      if (!ms) return 2;
+      progress_interval_s = static_cast<double>(*ms) / 1000.0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (num_shards < 1) {
+    std::fprintf(stderr, "error: fleet needs --shards N (>= 1)\n");
+    return 2;
+  }
+
+  request.cancel = g_cancel.token();
+  install_stop_handlers();
+
+  if (const int rc = build_sweep_request(argv[2], scale, trace_files,
+                                         mmap_traces, cache_list, class_specs,
+                                         request);
+      rc != 0)
+    return rc;
+
+  // The dispatcher partitions again internally; this plan is for the
+  // banner and the progress total (and catches request errors before
+  // any worker is launched).
+  const api::Result<shard::ShardPlan> plan = shard::ShardPlan::partition(
+      request, static_cast<std::uint32_t>(num_shards));
+  if (!plan.ok()) return fail(plan.status());
+
+  // The worker argv re-derives the same request from the same selector
+  // and flags — the plan fingerprint (trace content + geometries +
+  // strategies) is what proves driver and worker agreed; a report from
+  // a disagreeing worker is rejected and the shard retried.
+  std::vector<std::string> worker_argv;
+  worker_argv.push_back(worker_path.empty() ? self_executable(argv[0])
+                                            : worker_path);
+  worker_argv.push_back("engine");
+  worker_argv.push_back(argv[2]);
+  worker_argv.push_back("--shard");
+  worker_argv.push_back("{shard}/{count}");
+  worker_argv.push_back("--report-out");
+  worker_argv.push_back("{report}");
+  worker_argv.push_back("--heartbeat");
+  worker_argv.push_back("{heartbeat}");
+  worker_argv.push_back("--caches");
+  worker_argv.push_back(join(cache_list, ','));
+  worker_argv.push_back("--classes");
+  worker_argv.push_back(class_specs);
+  if (scale == workloads::Scale::small) worker_argv.push_back("--small");
+  if (mmap_traces) worker_argv.push_back("--mmap");
+  for (const std::string& file : trace_files) {
+    worker_argv.push_back("--trace");
+    worker_argv.push_back(file);
+  }
+  if (worker_threads >= 0) {
+    worker_argv.push_back("--threads");
+    worker_argv.push_back(std::to_string(worker_threads));
+  }
+  if (profile_cache_mb > 0) {
+    worker_argv.push_back("--profile-cache-mb");
+    worker_argv.push_back(std::to_string(profile_cache_mb));
+  }
+
+  fleet::ExecLauncher exec_launcher;
+  std::optional<fleet::SshLauncher> ssh_launcher;
+  fleet::Launcher* launcher = &exec_launcher;
+  if (launcher_spec.rfind("ssh:", 0) == 0) {
+    const std::string host = launcher_spec.substr(4);
+    if (host.empty()) {
+      std::fprintf(stderr, "error: --launcher ssh:<host> needs a host\n");
+      return 2;
+    }
+    ssh_launcher.emplace(fleet::SshLauncher::Options{.host = host});
+    launcher = &*ssh_launcher;
+  } else if (launcher_spec != "exec") {
+    std::fprintf(stderr,
+                 "error: unknown launcher '%s' (want exec or ssh:<host>)\n",
+                 launcher_spec.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "[fleet] %ld shards of request %s: %llu cells, launcher %s, "
+               "work dir %s\n",
+               num_shards, plan->fingerprint().to_string().c_str(),
+               static_cast<unsigned long long>(plan->total_cells()),
+               launcher_spec.c_str(), work_dir.c_str());
+
+  obs::ProgressReporter reporter(
+      {.done_counter = "fleet.cells_landed",
+       .error_counter = "fleet.retries",
+       .total = plan->total_cells(),
+       .label = "fleet",
+       .interval_s = progress_interval_s,
+       // Cells land in whole-shard batches, so allow a generous stall
+       // window before warning; the real liveness check is the
+       // dispatcher's heartbeat watchdog.
+       .stall_warn_s = std::max(60.0, 10.0 * progress_interval_s)});
+  if (progress) reporter.start();
+
+  fleet::FleetOptions options;
+  options.num_shards = static_cast<std::uint32_t>(num_shards);
+  options.max_parallel = static_cast<std::uint32_t>(max_parallel);
+  options.max_attempts = static_cast<std::uint32_t>(max_attempts);
+  options.heartbeat_timeout_s = static_cast<double>(heartbeat_timeout_s);
+  options.work_dir = work_dir;
+  options.worker_argv = std::move(worker_argv);
+  options.launcher = launcher;
+  options.cancel = g_cancel.token();
+  options.reporter = &reporter;
+  options.inject_kill_shard = static_cast<std::uint32_t>(inject_kill);
+
+  api::Result<fleet::FleetResult> result =
+      fleet::dispatch_fleet(request, options);
+  reporter.stop();
+  if (!result.ok()) return fail(result.status());
+  const shard::Report& merged = result->merged;
+
+  std::ofstream file_out;
+  if (!out_path.empty()) {
+    file_out.open(out_path);
+    if (!file_out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  merged.write_csv(out_path.empty() ? std::cout : file_out);
+  if (!report_out.empty())
+    if (const api::Status saved = shard::save_report(merged, report_out);
+        !saved.ok())
+      return fail(saved);
+  if (!fleet_metrics_out.empty()) {
+    std::ofstream os(fleet_metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", fleet_metrics_out.c_str());
+      return 1;
+    }
+    // Workers' aggregated obs sections plus the driver's own registry
+    // (fleet.launches, fleet.retries, heartbeat/kill counters) — one
+    // document for the whole fleet.
+    obs::Snapshot fleet_snapshot = obs::registry().snapshot();
+    if (merged.obs.has_value()) {
+      fleet_snapshot.aggregate(merged.obs->snapshot);
+    } else {
+      std::fprintf(stderr,
+                   "[fleet] warning: no worker carried an observability "
+                   "section; fleet metrics cover only the driver\n");
+    }
+    fleet_snapshot.write_openmetrics(os);
+  }
+  std::fprintf(stderr,
+               "[fleet] %ld shards merged: %u launches (%u requeued), "
+               "%zu cells, %zu failed\n",
+               num_shards, result->launches, result->retries,
+               merged.cells.size(), merged.error_count());
+  return merged.error_count() == 0 ? 0 : 1;
 }
 
 int cmd_merge(int argc, char** argv) {
@@ -719,33 +1107,34 @@ int cmd_serve(int argc, char** argv) {
       if (!v) return usage();
       options.listen = v;
     } else if (arg == "--max-inflight") {
-      const char* v = value();
-      const long n = v ? std::atol(v) : 0;
-      if (n < 1) return usage();
-      options.service.max_inflight = static_cast<unsigned>(n);
+      const auto n = parse_number("--max-inflight",
+                                  "a positive request count", value(), 1,
+                                  1024);
+      if (!n) return 2;
+      options.service.max_inflight = static_cast<unsigned>(*n);
     } else if (arg == "--queue") {
-      const char* v = value();
-      if (!v) return usage();
-      const long n = std::atol(v);
-      if (n < 0) return usage();
-      options.service.queue_capacity = static_cast<std::size_t>(n);
+      const auto n = parse_number("--queue", "a queue capacity (0 = none)",
+                                  value(), 0, 1 << 20);
+      if (!n) return 2;
+      options.service.queue_capacity = static_cast<std::size_t>(*n);
     } else if (arg == "--threads") {
-      const char* v = value();
-      const long n = v ? std::atol(v) : 0;
-      if (n < 1) return usage();
-      options.service.engine_threads = static_cast<unsigned>(n);
+      const auto n =
+          parse_number("--threads", "a positive thread count", value(), 1,
+                       1024);
+      if (!n) return 2;
+      options.service.engine_threads = static_cast<unsigned>(*n);
     } else if (arg == "--profile-cache-mb") {
-      const char* v = value();
-      const long mb = v ? std::atol(v) : 0;
-      if (mb < 1) return usage();
+      const auto mb = parse_number("--profile-cache-mb",
+                                   "a positive MiB budget", value(), 1,
+                                   std::numeric_limits<long>::max() >> 20);
+      if (!mb) return 2;
       options.service.profile_cache_bytes =
-          static_cast<std::size_t>(mb) << 20;
+          static_cast<std::size_t>(*mb) << 20;
     } else if (arg == "--memo") {
-      const char* v = value();
-      if (!v) return usage();
-      const long n = std::atol(v);
-      if (n < 0) return usage();
-      options.service.memo_capacity = static_cast<std::size_t>(n);
+      const auto n = parse_number("--memo", "a memo capacity (0 = off)",
+                                  value(), 0, 1 << 20);
+      if (!n) return 2;
+      options.service.memo_capacity = static_cast<std::size_t>(*n);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage();
@@ -1007,9 +1396,10 @@ int cmd_trace_convert(int argc, char** argv) {
       else
         return usage();
     } else if (arg == "--chunk" && i + 1 < argc) {
-      const long v = std::atol(argv[++i]);
-      if (v < 1) return usage();
-      chunk = static_cast<std::uint32_t>(v);
+      const auto v = parse_number("--chunk", "a positive chunk capacity",
+                                  argv[++i], 1, 0xFFFFFFFFL);
+      if (!v) return 2;
+      chunk = static_cast<std::uint32_t>(*v);
     } else {
       return usage();
     }
@@ -1071,6 +1461,7 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(argc, argv);
     if (command == "simulate") return cmd_simulate(argc, argv);
     if (command == "engine") return cmd_engine(argc, argv);
+    if (command == "fleet") return cmd_fleet(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
     if (command == "serve-status") return cmd_serve_status(argc, argv);
     if (command == "merge") return cmd_merge(argc, argv);

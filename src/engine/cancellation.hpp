@@ -9,8 +9,11 @@
 // no special casing at call sites.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 namespace xoridx::engine {
 
@@ -56,5 +59,25 @@ class CancellationSource {
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
 };
+
+/// Sleep for `seconds`, waking early when `token` fires. Returns true on
+/// early wake-up. A fired source stores one relaxed atomic, which a
+/// condition variable cannot observe, so cancellation-paced waits poll
+/// the flag at millisecond granularity instead — bounding the latency of
+/// loops (fleet dispatch, watchdogs) that sleep between sweeps.
+inline bool interruptible_sleep(const CancellationToken& token,
+                                double seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (clock::now() < deadline) {
+    if (token.cancelled()) return true;
+    const auto remaining = deadline - clock::now();
+    std::this_thread::sleep_for(
+        std::min<clock::duration>(remaining, std::chrono::milliseconds(5)));
+  }
+  return token.cancelled();
+}
 
 }  // namespace xoridx::engine

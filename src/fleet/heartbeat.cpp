@@ -1,0 +1,74 @@
+#include "fleet/heartbeat.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace xoridx::fleet {
+
+using api::Status;
+using api::StatusCode;
+
+api::Status touch_heartbeat(const std::string& path) {
+  // Rewrite rather than utime(): a write updates mtime atomically with
+  // actually exercising the filesystem, so a read-only or full disk
+  // shows up as a failed beat instead of a stale-looking one.
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0)
+    return Status(StatusCode::io_error, "cannot touch heartbeat '" + path +
+                                            "': " + std::strerror(errno));
+  const char beat[] = "beat\n";
+  const ssize_t written = ::write(fd, beat, sizeof(beat) - 1);
+  const int saved = errno;
+  ::close(fd);
+  if (written != static_cast<ssize_t>(sizeof(beat) - 1))
+    return Status(StatusCode::io_error, "cannot write heartbeat '" + path +
+                                            "': " + std::strerror(saved));
+  return {};
+}
+
+std::optional<double> heartbeat_age_s(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  struct timespec now{};
+  ::clock_gettime(CLOCK_REALTIME, &now);
+  const double mtime = static_cast<double>(st.st_mtim.tv_sec) +
+                       static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+  const double wall = static_cast<double>(now.tv_sec) +
+                      static_cast<double>(now.tv_nsec) * 1e-9;
+  return wall - mtime;
+}
+
+api::Status HeartbeatWriter::start() {
+  if (started_) return {};
+  if (Status status = touch_heartbeat(path_); !status.ok()) return status;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+  return {};
+}
+
+void HeartbeatWriter::stop() {
+  if (!started_) return;
+  stop_.cancel();
+  thread_.join();
+  started_ = false;
+  ::unlink(path_.c_str());
+}
+
+void HeartbeatWriter::run() {
+  const engine::CancellationToken token = stop_.token();
+  while (!engine::interruptible_sleep(token, interval_s_)) {
+    // A transient beat failure (disk hiccup) is not fatal to the worker
+    // — the shard result is what matters; the dispatcher's timeout is
+    // several intervals, so one missed beat is absorbed.
+    (void)touch_heartbeat(path_);
+  }
+}
+
+}  // namespace xoridx::fleet

@@ -1,0 +1,66 @@
+// Worker liveness via file mtime.
+//
+// A worker that is alive rewrites one tiny sidecar file every interval;
+// the dispatcher stats it and treats a stale (or never-created) mtime as
+// a wedged worker, kills it, and requeues the shard. The filesystem is
+// the only channel the fleet already requires (reports land there too),
+// so heartbeats work identically for local and ssh workers on a shared
+// filesystem — no sockets, no extra protocol.
+//
+// The age computation compares the file's mtime against the *same*
+// clock that stamped it (CLOCK_REALTIME, which filesystems use), so
+// dispatcher and worker on the same filesystem agree even when their
+// steady clocks don't.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "api/status.hpp"
+#include "engine/cancellation.hpp"
+
+namespace xoridx::fleet {
+
+/// Rewrite the heartbeat file once (creating it if needed): one beat.
+[[nodiscard]] api::Status touch_heartbeat(const std::string& path);
+
+/// Seconds since the file was last touched; nullopt when the file does
+/// not exist (a worker that never started beating). Clock skew can make
+/// this slightly negative; callers compare against timeouts much larger
+/// than any plausible skew.
+[[nodiscard]] std::optional<double> heartbeat_age_s(const std::string& path);
+
+/// Worker-side beater: touches `path` every `interval_s` from a
+/// background thread, starting with one immediate beat in start() so
+/// the dispatcher sees liveness before the first sweep cell completes.
+/// The thread never touches engine state — a heartbeat cannot perturb
+/// results. stop() (and the destructor) removes the file so a clean
+/// exit is distinguishable from a stall.
+class HeartbeatWriter {
+ public:
+  explicit HeartbeatWriter(std::string path, double interval_s = 1.0)
+      : path_(std::move(path)), interval_s_(interval_s) {}
+  ~HeartbeatWriter() { stop(); }
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  /// First beat + background thread. Returns the first beat's Status so
+  /// an unwritable path fails loudly at worker startup, not silently as
+  /// a dispatcher-side timeout. No-op when already started.
+  [[nodiscard]] api::Status start();
+
+  /// Stop beating and remove the file. Idempotent.
+  void stop();
+
+ private:
+  void run();
+
+  std::string path_;
+  double interval_s_;
+  engine::CancellationSource stop_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace xoridx::fleet

@@ -1,0 +1,166 @@
+#include "fleet/launcher.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xoridx::fleet {
+
+using api::Status;
+using api::StatusCode;
+
+std::string WorkerExit::describe() const {
+  if (signalled) return "killed by signal " + std::to_string(signal);
+  return "exited " + std::to_string(code);
+}
+
+api::Result<WorkerHandle> ExecLauncher::spawn(const WorkerCommand& command) {
+  if (command.argv.empty())
+    return Status(StatusCode::invalid_argument, "empty worker argv");
+
+  // Open the log in the parent so an unwritable path is a spawn error,
+  // not a silent _exit(127) in the child.
+  int log_fd = -1;
+  if (!command.log_path.empty()) {
+    log_fd = ::open(command.log_path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (log_fd < 0)
+      return Status(StatusCode::io_error,
+                    "cannot open worker log '" + command.log_path +
+                        "': " + std::strerror(errno));
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(command.argv.size() + 1);
+  for (const std::string& arg : command.argv)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    if (log_fd >= 0) ::close(log_fd);
+    return Status(StatusCode::internal,
+                  std::string("fork failed: ") + std::strerror(saved));
+  }
+  if (pid == 0) {
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+    }
+    ::execvp(argv[0], argv.data());
+    // Visible in the log (stderr already points there); 127 matches the
+    // shell convention for command-not-found.
+    const char* msg = "xoridx-fleet: exec failed: ";
+    (void)!::write(STDERR_FILENO, msg, std::strlen(msg));
+    const char* err = std::strerror(errno);
+    (void)!::write(STDERR_FILENO, err, std::strlen(err));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+  if (log_fd >= 0) ::close(log_fd);
+  return WorkerHandle{pid};
+}
+
+std::optional<WorkerExit> ExecLauncher::poll(const WorkerHandle& handle) {
+  if (!handle.valid()) return WorkerExit{false, 127, 0};
+  int wstatus = 0;
+  const pid_t reaped = ::waitpid(handle.pid, &wstatus, WNOHANG);
+  if (reaped == 0) return std::nullopt;
+  if (reaped < 0) {
+    // ECHILD: already reaped (double poll) or not our child — either
+    // way the worker is gone; report a generic abnormal exit.
+    return WorkerExit{false, 127, 0};
+  }
+  WorkerExit exit;
+  if (WIFSIGNALED(wstatus)) {
+    exit.signalled = true;
+    exit.signal = WTERMSIG(wstatus);
+  } else if (WIFEXITED(wstatus)) {
+    exit.code = WEXITSTATUS(wstatus);
+  } else {
+    exit.code = 127;
+  }
+  return exit;
+}
+
+void ExecLauncher::kill(const WorkerHandle& handle) {
+  if (handle.valid()) ::kill(handle.pid, SIGKILL);
+}
+
+std::string SshLauncher::shell_quote(const std::string& arg) {
+  std::string quoted = "'";
+  for (const char c : arg) {
+    if (c == '\'')
+      quoted += "'\\''";
+    else
+      quoted += c;
+  }
+  quoted += "'";
+  return quoted;
+}
+
+std::string SshLauncher::shell_join(const std::vector<std::string>& argv) {
+  std::string joined;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    if (i != 0) joined += ' ';
+    joined += shell_quote(argv[i]);
+  }
+  return joined;
+}
+
+std::vector<std::string> SshLauncher::command_for(
+    const std::vector<std::string>& argv) const {
+  std::vector<std::string> local;
+  local.reserve(options_.extra_args.size() + 3);
+  local.push_back(options_.ssh_binary);
+  local.insert(local.end(), options_.extra_args.begin(),
+               options_.extra_args.end());
+  local.push_back(options_.host);
+  local.push_back(shell_join(argv));
+  return local;
+}
+
+api::Result<WorkerHandle> SshLauncher::spawn(const WorkerCommand& command) {
+  if (command.argv.empty())
+    return Status(StatusCode::invalid_argument, "empty worker argv");
+  if (options_.host.empty())
+    return Status(StatusCode::invalid_argument, "ssh launcher needs a host");
+  WorkerCommand wrapped;
+  wrapped.argv = command_for(command.argv);
+  wrapped.log_path = command.log_path;
+  return ExecLauncher::spawn(wrapped);
+}
+
+namespace {
+
+void replace_all_tokens(std::string& text, const std::string& token,
+                        const std::string& value) {
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    text.replace(pos, token.size(), value);
+    pos += value.size();
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> substitute_argv(
+    const std::vector<std::string>& argv_template, std::uint32_t shard_index,
+    std::uint32_t num_shards, const std::string& report_path,
+    const std::string& heartbeat_path) {
+  std::vector<std::string> argv = argv_template;
+  for (std::string& arg : argv) {
+    replace_all_tokens(arg, "{shard}", std::to_string(shard_index));
+    replace_all_tokens(arg, "{count}", std::to_string(num_shards));
+    replace_all_tokens(arg, "{report}", report_path);
+    replace_all_tokens(arg, "{heartbeat}", heartbeat_path);
+  }
+  return argv;
+}
+
+}  // namespace xoridx::fleet

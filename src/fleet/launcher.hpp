@@ -1,0 +1,126 @@
+// Launching shard workers as child processes.
+//
+// The fleet dispatcher is backend-agnostic: it hands a Launcher a fully
+// substituted argv and gets back an opaque handle it can poll and kill.
+// ExecLauncher is the local fork/exec backend; SshLauncher wraps the
+// same argv in one `ssh host 'quoted command'` invocation, so a remote
+// worker is driven through exactly the dispatcher code paths the local
+// one is (the ssh client is the local child being polled/killed —
+// killing it drops the connection and, with the default ssh settings,
+// the remote command's controlling terminal).
+//
+// Workers communicate results exclusively through the filesystem (the
+// shard report file); stdout/stderr are redirected to a per-attempt log
+// so a failed worker leaves a post-mortem instead of interleaving with
+// fleet progress output.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+
+namespace xoridx::fleet {
+
+/// One worker invocation: the exact argv to run and where to send its
+/// stdout/stderr (empty: inherit the dispatcher's).
+struct WorkerCommand {
+  std::vector<std::string> argv;  ///< argv[0] is the executable path
+  std::string log_path;
+};
+
+/// Opaque handle to a spawned worker. For the process backends this is
+/// the local child pid (for SshLauncher: the ssh client's pid).
+struct WorkerHandle {
+  pid_t pid = -1;
+
+  [[nodiscard]] bool valid() const noexcept { return pid > 0; }
+};
+
+/// Terminal state of a reaped worker.
+struct WorkerExit {
+  bool signalled = false;
+  int code = 0;    ///< exit code when !signalled
+  int signal = 0;  ///< terminating signal when signalled
+
+  [[nodiscard]] bool ok() const noexcept { return !signalled && code == 0; }
+  /// "exited 3" / "killed by signal 9" — for requeue warnings and logs.
+  [[nodiscard]] std::string describe() const;
+};
+
+class Launcher {
+ public:
+  virtual ~Launcher() = default;
+
+  [[nodiscard]] virtual api::Result<WorkerHandle> spawn(
+      const WorkerCommand& command) = 0;
+
+  /// Non-blocking reap: nullopt while the worker is still running; the
+  /// exit state exactly once when it terminates (the handle is dead
+  /// afterwards).
+  [[nodiscard]] virtual std::optional<WorkerExit> poll(
+      const WorkerHandle& handle) = 0;
+
+  /// SIGKILL the worker. Idempotent and safe on already-exited workers;
+  /// the exit must still be reaped via poll().
+  virtual void kill(const WorkerHandle& handle) = 0;
+};
+
+/// Local backend: fork + execvp with stdout/stderr appended to the log.
+class ExecLauncher : public Launcher {
+ public:
+  [[nodiscard]] api::Result<WorkerHandle> spawn(
+      const WorkerCommand& command) override;
+  [[nodiscard]] std::optional<WorkerExit> poll(
+      const WorkerHandle& handle) override;
+  void kill(const WorkerHandle& handle) override;
+};
+
+/// Remote backend: the worker argv is shell-quoted into a single ssh
+/// command. Assumes a shared filesystem (the report path the worker
+/// writes must be readable by the dispatcher); distributing trace files
+/// to remote hosts is the ROADMAP follow-up. Non-interactive by
+/// construction (BatchMode): a host needing a password fails fast and
+/// the shard is retried/failed like any other worker death.
+class SshLauncher : public ExecLauncher {
+ public:
+  struct Options {
+    std::string host;               ///< [user@]host
+    std::string ssh_binary = "ssh";
+    std::vector<std::string> extra_args = {"-oBatchMode=yes"};
+  };
+
+  explicit SshLauncher(Options options) : options_(std::move(options)) {}
+
+  [[nodiscard]] api::Result<WorkerHandle> spawn(
+      const WorkerCommand& command) override;
+
+  /// The local argv a spawn would exec — exposed so quoting is testable
+  /// without an ssh daemon.
+  [[nodiscard]] std::vector<std::string> command_for(
+      const std::vector<std::string>& argv) const;
+
+  /// POSIX single-quote escaping: safe for any byte string but NUL.
+  [[nodiscard]] static std::string shell_quote(const std::string& arg);
+  [[nodiscard]] static std::string shell_join(
+      const std::vector<std::string>& argv);
+
+ private:
+  Options options_;
+};
+
+/// Instantiate a worker argv template for one shard: every occurrence of
+/// {shard}, {count}, {report} and {heartbeat} in every element is
+/// replaced. The dispatcher owns path construction; the template owns
+/// the command shape — so the same template drives the CLI worker, the
+/// test binary's self-exec worker mode, and a remote binary.
+[[nodiscard]] std::vector<std::string> substitute_argv(
+    const std::vector<std::string>& argv_template, std::uint32_t shard_index,
+    std::uint32_t num_shards, const std::string& report_path,
+    const std::string& heartbeat_path);
+
+}  // namespace xoridx::fleet

@@ -7,10 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <csignal>
 #include <cstring>
+#include <functional>
 #include <sstream>
 #include <utility>
 
@@ -69,22 +72,35 @@ struct Server::Connection {
   ~Connection() { close_fd(fd); }
 
   void send(const std::string& frame) {
-    std::lock_guard lock(write_mutex);
-    if (closed.load(std::memory_order_relaxed)) return;
-    std::string wire = frame;
-    wire += '\n';
-    std::size_t off = 0;
-    while (off < wire.size()) {
-      const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        // Client went away mid-stream; its requests keep running (the
-        // client must cancel explicitly), later frames are dropped.
-        closed.store(true, std::memory_order_relaxed);
-        return;
+    bool timed_out = false;
+    {
+      std::lock_guard lock(write_mutex);
+      if (closed.load(std::memory_order_relaxed)) return;
+      std::string wire = frame;
+      wire += '\n';
+      std::size_t off = 0;
+      while (off < wire.size()) {
+        const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          // SO_SNDTIMEO expired: the peer's receive window stayed full
+          // for the whole timeout — a client that stopped reading.
+          // Everything else is an ordinary disconnect. Either way later
+          // frames are dropped; the timeout additionally counts as a
+          // hangup (below) so the client's requests are cancelled
+          // instead of streaming into a dead socket forever.
+          timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+          closed.store(true, std::memory_order_relaxed);
+          break;
+        }
+        off += static_cast<std::size_t>(n);
       }
-      off += static_cast<std::size_t>(n);
+    }
+    if (timed_out) {
+      XORIDX_OBS_COUNT("serve.send_timeouts", 1);
+      ::shutdown(fd, SHUT_RDWR);  // unblock our reader thread too
+      if (!hangup_fired.exchange(true) && on_hangup) on_hangup();
     }
   }
 
@@ -93,9 +109,35 @@ struct Server::Connection {
     ::shutdown(fd, SHUT_RDWR);
   }
 
+  /// In-flight request bookkeeping, so a hangup can cancel exactly this
+  /// connection's requests. Guarded by ids_mutex (reader thread adds,
+  /// driver threads remove, the hangup path drains).
+  void track(const std::string& id) {
+    std::lock_guard lock(ids_mutex);
+    inflight_ids.push_back(id);
+  }
+  void untrack(const std::string& id) {
+    std::lock_guard lock(ids_mutex);
+    inflight_ids.erase(
+        std::remove(inflight_ids.begin(), inflight_ids.end(), id),
+        inflight_ids.end());
+  }
+  [[nodiscard]] std::vector<std::string> take_inflight() {
+    std::lock_guard lock(ids_mutex);
+    return std::exchange(inflight_ids, {});
+  }
+
   int fd = -1;
   std::mutex write_mutex;
   std::atomic<bool> closed{false};
+  /// Fired at most once, outside write_mutex, when a send times out.
+  /// Set by the server at accept; captures the Connection raw (the
+  /// caller is a member function, so the object is alive) — a
+  /// shared_ptr capture would be a reference cycle.
+  std::function<void()> on_hangup;
+  std::atomic<bool> hangup_fired{false};
+  std::mutex ids_mutex;
+  std::vector<std::string> inflight_ids;
 };
 
 Server::Server(ServerOptions options)
@@ -184,7 +226,27 @@ void Server::serve() {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
     XORIDX_OBS_COUNT("serve.connections", 1);
+    if (options_.send_timeout_s > 0.0) {
+      timeval timeout{};
+      timeout.tv_sec = static_cast<time_t>(options_.send_timeout_s);
+      timeout.tv_usec = static_cast<suseconds_t>(
+          (options_.send_timeout_s - std::floor(options_.send_timeout_s)) *
+          1e6);
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                   sizeof(timeout));
+    }
+    if (options_.send_buffer_bytes > 0)
+      ::setsockopt(client, SOL_SOCKET, SO_SNDBUF,
+                   &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
     auto conn = std::make_shared<Connection>(client);
+    // The hangup path runs on whichever driver thread hit the timeout;
+    // Service delivers events outside its mutex, so cancelling from an
+    // event callback cannot deadlock.
+    conn->on_hangup = [this, raw = conn.get()] {
+      for (const std::string& id : raw->take_inflight())
+        (void)service_.cancel(id);
+    };
     std::lock_guard lock(connections_mutex_);
     connections_.push_back(conn);
     readers_.emplace_back(
@@ -245,6 +307,11 @@ void Server::dispatch_line(const std::shared_ptr<Connection>& conn,
   switch (command.kind) {
     case Command::Kind::explore: {
       const std::string id = command.id;
+      // Track before submit so a hangup racing the accept still finds
+      // the id; terminal events untrack (after the frame, so a timeout
+      // on the done event itself still cancels siblings, harmlessly
+      // including this settling request).
+      conn->track(id);
       RequestEvents events;
       events.on_accepted = [conn, id](std::size_t jobs) {
         conn->send(accepted_event(id, jobs));
@@ -254,9 +321,11 @@ void Server::dispatch_line(const std::shared_ptr<Connection>& conn,
       };
       events.on_done = [conn, id](const RequestSummary& summary) {
         conn->send(done_event(id, summary));
+        conn->untrack(id);
       };
       events.on_error = [conn, id](const Status& status) {
         conn->send(error_event(id, status));
+        conn->untrack(id);
       };
       // Rejections surface through on_error; the return value is the
       // transport-free caller's copy.

@@ -34,6 +34,16 @@ struct ServerOptions {
   /// "host:port" ("127.0.0.1:7420", ":0", "0.0.0.0:7420"). An empty or
   /// omitted host binds the loopback interface; port 0 is ephemeral.
   std::string listen = "127.0.0.1:7420";
+  /// SO_SNDTIMEO on every client socket: a send() that cannot make
+  /// progress for this long means the client stopped reading (wedged
+  /// reader, dead NAT mapping). The connection is treated as hung up:
+  /// its in-flight requests are cancelled and their slots freed —
+  /// without this a single stalled client pins a driver thread and an
+  /// inflight slot forever. 0 disables (block indefinitely).
+  double send_timeout_s = 30.0;
+  /// SO_SNDBUF for client sockets; 0 keeps the OS default. Tests set a
+  /// tiny buffer so a non-reading client back-pressures send() quickly.
+  int send_buffer_bytes = 0;
   ServiceOptions service;
 };
 

@@ -479,75 +479,121 @@ api::Result<Report> load_report(const std::string& path) {
   return report;
 }
 
-api::Result<Report> merge_reports(std::vector<Report> shards) {
-  if (shards.empty())
-    return Status(StatusCode::invalid_argument, "no shard reports to merge");
-  const Report& base = shards.front();
-  for (const Report& shard : shards) {
-    if (Status status = check_structure(shard); !status.ok()) return status;
-    if (shard.fingerprint != base.fingerprint)
-      return Status(StatusCode::invalid_argument,
-                    "shard " + std::to_string(shard.shard_index) +
-                        " belongs to a different request (fingerprint " +
-                        shard.fingerprint.to_string() + " != " +
-                        base.fingerprint.to_string() + ")");
-    if (!(shard.written_by == base.written_by))
-      return Status(StatusCode::invalid_argument,
-                    "version skew: shard " +
-                        std::to_string(shard.shard_index) +
-                        " was written by xoridx " +
-                        std::to_string(shard.written_by.major) + "." +
-                        std::to_string(shard.written_by.minor) + "." +
-                        std::to_string(shard.written_by.patch) +
-                        ", expected " + std::to_string(base.written_by.major) +
-                        "." + std::to_string(base.written_by.minor) + "." +
-                        std::to_string(base.written_by.patch));
-    if (shard.num_shards != base.num_shards ||
-        shard.total_cells != base.total_cells ||
-        shard.trace_count != base.trace_count ||
-        shard.geometry_count != base.geometry_count ||
-        shard.strategy_count != base.strategy_count)
-      return Status(StatusCode::invalid_argument,
-                    "shard " + std::to_string(shard.shard_index) +
-                        " disagrees about the campaign shape (shards/cells/"
-                        "grid)");
+IncrementalMerger::IncrementalMerger(const Fingerprint& expected_fingerprint,
+                                     std::uint32_t expected_shards)
+    : expected_fingerprint_(expected_fingerprint),
+      expected_shards_(expected_shards) {}
+
+bool IncrementalMerger::seen(std::uint32_t shard_index) const {
+  return std::find(indices_.begin(), indices_.end(), shard_index) !=
+         indices_.end();
+}
+
+bool IncrementalMerger::complete() const {
+  return have_base_ && indices_.size() == base_.num_shards;
+}
+
+api::Status IncrementalMerger::add(Report report) {
+  if (Status status = check_structure(report); !status.ok()) return status;
+  const Fingerprint expected = have_base_ ? base_.fingerprint
+                               : expected_fingerprint_.has_value()
+                                   ? *expected_fingerprint_
+                                   : report.fingerprint;
+  if (report.fingerprint != expected)
+    return Status(StatusCode::invalid_argument,
+                  "shard " + std::to_string(report.shard_index) +
+                      " belongs to a different request (fingerprint " +
+                      report.fingerprint.to_string() + " != " +
+                      expected.to_string() + ")");
+  if (have_base_ && !(report.written_by == base_.written_by))
+    return Status(StatusCode::invalid_argument,
+                  "version skew: shard " +
+                      std::to_string(report.shard_index) +
+                      " was written by xoridx " +
+                      std::to_string(report.written_by.major) + "." +
+                      std::to_string(report.written_by.minor) + "." +
+                      std::to_string(report.written_by.patch) +
+                      ", expected " + std::to_string(base_.written_by.major) +
+                      "." + std::to_string(base_.written_by.minor) + "." +
+                      std::to_string(base_.written_by.patch));
+  const bool shape_mismatch =
+      have_base_ ? (report.num_shards != base_.num_shards ||
+                    report.total_cells != base_.total_cells ||
+                    report.trace_count != base_.trace_count ||
+                    report.geometry_count != base_.geometry_count ||
+                    report.strategy_count != base_.strategy_count)
+                 : (expected_shards_.has_value() &&
+                    report.num_shards != *expected_shards_);
+  if (shape_mismatch)
+    return Status(StatusCode::invalid_argument,
+                  "shard " + std::to_string(report.shard_index) +
+                      " disagrees about the campaign shape (shards/cells/"
+                      "grid)");
+  if (seen(report.shard_index))
+    return Status(StatusCode::invalid_argument,
+                  "duplicate shard index " +
+                      std::to_string(report.shard_index));
+
+  if (!have_base_) {
+    base_.fingerprint = report.fingerprint;
+    base_.written_by = report.written_by;
+    base_.num_shards = report.num_shards;
+    base_.total_cells = report.total_cells;
+    base_.trace_count = report.trace_count;
+    base_.geometry_count = report.geometry_count;
+    base_.strategy_count = report.strategy_count;
+    have_base_ = true;
   }
+  indices_.push_back(report.shard_index);
+  ranges_.insert(ranges_.end(), report.ranges.begin(), report.ranges.end());
+  for (Cell& cell : report.cells) cells_.push_back(std::move(cell));
+  // Fleet observability: fold the sections that exist. A shard without
+  // one — a v1-format file or an obs-off worker — merges fine and just
+  // contributes nothing. Sum/max/union are commutative, so the result is
+  // independent of landing order.
+  if (report.obs.has_value()) {
+    if (!obs_.has_value()) {
+      obs_ = std::move(*report.obs);
+    } else {
+      obs_->wall_ns = std::max(obs_->wall_ns, report.obs->wall_ns);
+      obs_->peak_rss_bytes =
+          std::max(obs_->peak_rss_bytes, report.obs->peak_rss_bytes);
+      obs_->snapshot.aggregate(report.obs->snapshot);
+    }
+  }
+  return {};
+}
+
+api::Result<Report> IncrementalMerger::finish() {
+  if (!have_base_)
+    return Status(StatusCode::invalid_argument, "no shard reports to merge");
 
   // Walk the sorted indices against the expected 1..N sequence — O(given
   // shards) with no N-sized allocation, so a crafted num_shards (up to
   // UINT32_MAX) yields a descriptive error instead of a huge bitmap.
-  std::vector<std::uint32_t> indices;
-  indices.reserve(shards.size());
-  for (const Report& shard : shards) indices.push_back(shard.shard_index);
-  std::sort(indices.begin(), indices.end());
+  // Duplicates were rejected by add(), so only gaps remain possible.
+  std::sort(indices_.begin(), indices_.end());
   std::uint64_t next = 1;
-  for (const std::uint32_t index : indices) {
-    if (index < next)
-      return Status(StatusCode::invalid_argument,
-                    "duplicate shard index " + std::to_string(index));
+  for (const std::uint32_t index : indices_) {
     if (index > next)
       return Status(StatusCode::invalid_argument,
                     "missing shard " + std::to_string(next) + " of " +
-                        std::to_string(base.num_shards));
+                        std::to_string(base_.num_shards));
     ++next;
   }
-  if (next != static_cast<std::uint64_t>(base.num_shards) + 1)
+  if (next != static_cast<std::uint64_t>(base_.num_shards) + 1)
     return Status(StatusCode::invalid_argument,
                   "missing shard " + std::to_string(next) + " of " +
-                      std::to_string(base.num_shards));
+                      std::to_string(base_.num_shards));
 
   // With indices exactly 1..N, coverage errors can only come from
   // corrupt range tables; the tiling check catches them.
-  std::vector<CellRange> all_ranges;
-  for (const Report& shard : shards)
-    all_ranges.insert(all_ranges.end(), shard.ranges.begin(),
-                      shard.ranges.end());
-  std::sort(all_ranges.begin(), all_ranges.end(),
+  std::sort(ranges_.begin(), ranges_.end(),
             [](const CellRange& a, const CellRange& b) {
               return a.begin < b.begin;
             });
   std::uint64_t expected = 0;
-  for (const CellRange& r : all_ranges) {
+  for (const CellRange& r : ranges_) {
     if (r.begin < expected)
       return Status(StatusCode::invalid_argument,
                     "shard cell ranges overlap at cell " +
@@ -558,45 +604,36 @@ api::Result<Report> merge_reports(std::vector<Report> shards) {
                         std::to_string(r.begin) + ") uncovered");
     expected = r.end;
   }
-  if (expected != base.total_cells)
+  if (expected != base_.total_cells)
     return Status(StatusCode::invalid_argument,
                   "shards cover only " + std::to_string(expected) + " of " +
-                      std::to_string(base.total_cells) + " cells");
+                      std::to_string(base_.total_cells) + " cells");
 
   Report merged;
-  merged.fingerprint = base.fingerprint;
-  merged.written_by = base.written_by;
+  merged.fingerprint = base_.fingerprint;
+  merged.written_by = base_.written_by;
   merged.shard_index = 1;
   merged.num_shards = 1;
-  merged.total_cells = base.total_cells;
-  merged.trace_count = base.trace_count;
-  merged.geometry_count = base.geometry_count;
-  merged.strategy_count = base.strategy_count;
-  merged.ranges = {CellRange{0, base.total_cells}};
-  merged.cells.reserve(static_cast<std::size_t>(base.total_cells));
-  for (Report& shard : shards)
-    for (Cell& cell : shard.cells) merged.cells.push_back(std::move(cell));
+  merged.total_cells = base_.total_cells;
+  merged.trace_count = base_.trace_count;
+  merged.geometry_count = base_.geometry_count;
+  merged.strategy_count = base_.strategy_count;
+  merged.ranges = {CellRange{0, base_.total_cells}};
+  merged.cells = std::move(cells_);
   std::sort(merged.cells.begin(), merged.cells.end(),
             [](const Cell& a, const Cell& b) { return a.index < b.index; });
-
-  // Fleet observability: fold the shard sections that exist. A shard
-  // without one — a v1-format file or an obs-off worker — merges fine
-  // and just contributes nothing. Sum/max/union are commutative, so the
-  // result is independent of shard order.
-  std::optional<ObsSection> fleet;
-  for (const Report& shard : shards) {
-    if (!shard.obs.has_value()) continue;
-    if (!fleet.has_value()) {
-      fleet = *shard.obs;
-      continue;
-    }
-    fleet->wall_ns = std::max(fleet->wall_ns, shard.obs->wall_ns);
-    fleet->peak_rss_bytes =
-        std::max(fleet->peak_rss_bytes, shard.obs->peak_rss_bytes);
-    fleet->snapshot.aggregate(shard.obs->snapshot);
-  }
-  merged.obs = std::move(fleet);
+  merged.obs = std::move(obs_);
   return merged;
+}
+
+api::Result<Report> merge_reports(std::vector<Report> shards) {
+  if (shards.empty())
+    return Status(StatusCode::invalid_argument, "no shard reports to merge");
+  IncrementalMerger merger;
+  for (Report& shard : shards)
+    if (Status status = merger.add(std::move(shard)); !status.ok())
+      return status;
+  return merger.finish();
 }
 
 }  // namespace xoridx::shard

@@ -147,4 +147,47 @@ struct Report {
 /// fine and simply contribute nothing.
 [[nodiscard]] api::Result<Report> merge_reports(std::vector<Report> shards);
 
+/// Merge shard reports one at a time, as they land. add() applies every
+/// per-report check merge_reports applies — structure, fingerprint and
+/// grid agreement, version skew, duplicate shard index — the moment a
+/// report arrives, so a fleet driver learns that a worker's output is
+/// unusable (and must be re-run) immediately instead of at the end of
+/// the campaign. finish() applies the whole-campaign checks (every shard
+/// present, ranges tiling [0, total)) and assembles the merged report.
+/// merge_reports is expressed on top of this class.
+class IncrementalMerger {
+ public:
+  IncrementalMerger() = default;
+  /// Pin the expected identity up front (a fleet driver knows its plan's
+  /// fingerprint and shard count before any report lands); the default
+  /// constructor adopts them from the first report instead.
+  IncrementalMerger(const Fingerprint& expected_fingerprint,
+                    std::uint32_t expected_shards);
+
+  /// Validate and fold in one shard report. On error the merger is
+  /// unchanged and the same shard may be retried with a corrected file.
+  [[nodiscard]] api::Status add(Report report);
+
+  [[nodiscard]] bool seen(std::uint32_t shard_index) const;
+  /// Reports accepted so far.
+  [[nodiscard]] std::size_t landed() const { return indices_.size(); }
+  /// Cells carried by the accepted reports.
+  [[nodiscard]] std::uint64_t cells_landed() const { return cells_.size(); }
+  /// True once every shard of the campaign has been accepted.
+  [[nodiscard]] bool complete() const;
+
+  /// Final tiling check + assembly. The merger is consumed.
+  [[nodiscard]] api::Result<Report> finish();
+
+ private:
+  bool have_base_ = false;
+  Report base_;  ///< header fields of the first accepted report
+  std::optional<Fingerprint> expected_fingerprint_;
+  std::optional<std::uint32_t> expected_shards_;
+  std::vector<std::uint32_t> indices_;
+  std::vector<CellRange> ranges_;
+  std::vector<Cell> cells_;
+  std::optional<ObsSection> obs_;
+};
+
 }  // namespace xoridx::shard

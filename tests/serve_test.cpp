@@ -28,6 +28,7 @@
 #include "engine/profile_cache.hpp"
 #include "engine/report.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "trace/generators.hpp"
 #include "workloads/workload.hpp"
 #include "xoridx/api.hpp"
@@ -720,8 +721,13 @@ TEST(Protocol, ParsesListenAddresses) {
 /// Minimal blocking NDJSON client for loopback tests.
 class TestClient {
  public:
-  explicit TestClient(std::uint16_t port) {
+  /// `rcvbuf_bytes` > 0 shrinks SO_RCVBUF before connecting so a
+  /// non-reading client back-pressures the server's send() quickly.
+  explicit TestClient(std::uint16_t port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ >= 0 && rcvbuf_bytes > 0)
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
     sockaddr_in sa{};
     sa.sin_family = AF_INET;
     sa.sin_port = htons(port);
@@ -847,6 +853,66 @@ TEST(Server, ShutdownCommandStopsTheDaemon) {
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->find("event")->as_string(), "status");
   serving.join();  // returns because the command stopped the loop
+}
+
+// A client that stops reading must not pin a driver thread forever:
+// SO_SNDTIMEO turns the wedged send() into a hangup that cancels the
+// connection's in-flight work and frees the slot.
+TEST(Server, StalledClientTimesOutAndFreesTheSlot) {
+  const std::uint64_t timeouts_before =
+      obs::registry().snapshot().counter("serve.send_timeouts");
+
+  serve::ServerOptions options;
+  options.listen = "127.0.0.1:0";
+  options.send_timeout_s = 0.5;
+  options.send_buffer_bytes = 4096;  // back-pressure after a few KiB
+  options.service.max_inflight = 1;  // the stalled request owns the slot
+  options.service.engine_threads = 1;
+  serve::Server server(options);
+  ASSERT_TRUE(server.bind().ok());
+  std::thread serving([&] { server.serve(); });
+
+  {
+    // Tiny receive buffer, never reads. A many-cell sweep keeps the
+    // driver busy while metrics floods wedge the reader thread's send.
+    TestClient stalled(server.port(), /*rcvbuf_bytes=*/4096);
+    ASSERT_TRUE(stalled.connected());
+    stalled.send_line(
+        R"({"cmd":"explore","id":"wedged",)"
+        R"("traces":[{"workload":"adpcm_dec","scale":"small"},)"
+        R"({"workload":"crc","scale":"small"}],)"
+        R"("caches":[256,512,1024,2048,4096,8192,16384,32768],)"
+        R"("strategies":["base","perm:2","perm:4"]})");
+    for (int i = 0; i < 64; ++i) stalled.send_line(R"({"cmd":"metrics"})");
+
+    // The send timeout must fire and be counted.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (obs::registry().snapshot().counter("serve.send_timeouts") ==
+               timeouts_before &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(10ms);
+    EXPECT_GT(obs::registry().snapshot().counter("serve.send_timeouts"),
+              timeouts_before);
+
+    // The hangup cancels the in-flight request: the slot drains even
+    // though the client never read a byte and never disconnected.
+    while (server.service().status().inflight != 0 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(10ms);
+    EXPECT_EQ(server.service().status().inflight, 0u);
+  }
+
+  // The freed slot serves a fresh connection immediately.
+  TestClient healthy(server.port());
+  ASSERT_TRUE(healthy.connected());
+  healthy.send_line(R"({"cmd":"status"})");
+  const auto status = serve::parse_json(healthy.read_line());
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->find("event")->as_string(), "status");
+
+  server.request_stop();
+  serving.join();
 }
 
 // ---------------------------------------------- graceful-shutdown death

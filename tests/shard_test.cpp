@@ -596,6 +596,88 @@ TEST(CorruptReports, MergeRejectsSkewMismatchDuplicatesAndGaps) {
   EXPECT_TRUE(merge_reports({shards[0], shards[1], shards[2]}).ok());
 }
 
+// -------------------------------------------------- incremental merger
+
+TEST(IncrementalMergerTest, ValidatesAtAddAndStaysUsableAfterReject) {
+  const api::ExplorationRequest request = grid_request(3, 2);
+  const ShardPlan plan = ShardPlan::partition(request, 3).value();
+  std::vector<Report> shards;
+  for (std::uint32_t i = 1; i <= 3; ++i)
+    shards.push_back(run_shard(request, plan, i).value());
+
+  IncrementalMerger merger;
+  EXPECT_FALSE(merger.complete());
+  EXPECT_EQ(merger.landed(), 0u);
+  ASSERT_TRUE(merger.add(shards[0]).ok());
+  EXPECT_TRUE(merger.seen(1));
+  EXPECT_FALSE(merger.seen(2));
+  EXPECT_EQ(merger.cells_landed(), shards[0].cells.size());
+
+  // A duplicate is rejected at add() time — and the rejection leaves
+  // the merger unchanged, so the campaign can still finish.
+  const api::Status dup = merger.add(shards[0]);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.message().find("duplicate shard index 1"),
+            std::string::npos);
+  EXPECT_EQ(merger.landed(), 1u);
+
+  // A shard of a different request bounces the same way.
+  const Report foreign = run_campaign(small_request()).value();
+  const api::Status cross = merger.add(foreign);
+  ASSERT_FALSE(cross.ok());
+  EXPECT_NE(cross.message().find("different request"), std::string::npos);
+
+  ASSERT_TRUE(merger.add(shards[2]).ok());
+  ASSERT_TRUE(merger.add(shards[1]).ok());
+  EXPECT_TRUE(merger.complete());
+  const api::Result<Report> merged = merger.finish();
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_TRUE(*merged == *merge_reports({shards[0], shards[1], shards[2]}));
+}
+
+TEST(IncrementalMergerTest, PinnedFingerprintRejectsForeignFirstReport) {
+  // Pinning the expected fingerprint up front catches a wrong-campaign
+  // report even when it is the FIRST to land — the fleet dispatcher
+  // relies on this so a stale work dir cannot seed the merge.
+  const api::ExplorationRequest request = grid_request(3, 2);
+  const ShardPlan plan = ShardPlan::partition(request, 3).value();
+  IncrementalMerger merger(plan.fingerprint(), 3);
+
+  const Report foreign = run_campaign(small_request()).value();
+  const api::Status rejected = merger.add(foreign);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.message().find("different request"), std::string::npos);
+
+  // Shape pinning: a right-campaign report claiming the wrong shard
+  // count is caught before any base report exists.
+  const ShardPlan two = ShardPlan::partition(request, 2).value();
+  const api::Status misshapen = merger.add(run_shard(request, two, 1).value());
+  ASSERT_FALSE(misshapen.ok());
+
+  for (std::uint32_t i = 1; i <= 3; ++i)
+    ASSERT_TRUE(merger.add(run_shard(request, plan, i).value()).ok());
+  EXPECT_TRUE(merger.complete());
+  EXPECT_TRUE(merger.finish().ok());
+}
+
+TEST(IncrementalMergerTest, FinishNamesMissingShardsAndEmptyMerge) {
+  const api::ExplorationRequest request = grid_request(3, 2);
+  const ShardPlan plan = ShardPlan::partition(request, 3).value();
+
+  IncrementalMerger empty;
+  EXPECT_EQ(empty.finish().status().code(),
+            api::StatusCode::invalid_argument);
+
+  IncrementalMerger merger;
+  ASSERT_TRUE(merger.add(run_shard(request, plan, 1).value()).ok());
+  ASSERT_TRUE(merger.add(run_shard(request, plan, 3).value()).ok());
+  EXPECT_FALSE(merger.complete());
+  const api::Result<Report> merged = merger.finish();
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("missing shard 2"),
+            std::string::npos);
+}
+
 // ----------------------------------------- seeded-restart determinism
 
 TEST(RestartDeterminism, GrammarParsesRestartsAndSeed) {
