@@ -79,6 +79,7 @@
 #include "trace/trace_io.hpp"
 #include "workloads/workload.hpp"
 #include "xoridx/fleet.hpp"
+#include "xoridx/io.hpp"
 #include "xoridx/obs.hpp"
 #include "xoridx/serve.hpp"
 #include "xoridx/shard.hpp"
@@ -144,7 +145,11 @@ int usage() {
                "[--profile-cache-mb N]\n"
                "      [--out file] [--report-out file] "
                "[--fleet-metrics-out m.prom]\n"
-               "      [--progress[=ms]] [--inject-kill i]\n"
+               "      [--progress[=ms]] [--inject-kill i] [--resume]\n"
+               "    --resume continues a campaign whose driver died: "
+               "landed shard\n"
+               "    reports are re-validated and merged, only missing "
+               "shards run\n"
                "  xoridx_cli merge <shard.rpt>... [--out merged.rpt] "
                "[--csv file|-]\n"
                "      [--fleet-metrics-out m.prom]\n"
@@ -159,7 +164,13 @@ int usage() {
                "  xoridx_cli trace convert <in> <out> [--to v1|v2] "
                "[--chunk N]\n"
                "  xoridx_cli trace info <file>\n"
-               "  xoridx_cli --version\n",
+               "  xoridx_cli --version\n"
+               "  xoridx_cli --failpoints 'site=action[@n][;...]' "
+               "<command> ...\n"
+               "    fault injection (needs -DXORIDX_FAILPOINTS=ON; also "
+               "via env\n"
+               "    XORIDX_FAILPOINTS): actions error(<errno>), "
+               "delay(<ms>), crash, off\n",
                api::strategy_grammar_summary().c_str());
   return 2;
 }
@@ -193,27 +204,43 @@ std::optional<long> parse_number(const char* what, const char* wants,
 /// Largest cache size GeometrySpec can carry (its fields are 32-bit).
 constexpr long max_cache_bytes = 0xFFFFFFFFL;
 
+/// Open an atomic output file for streamed writing, printing the error
+/// on failure. Every file the CLI produces goes through this (or
+/// save_report's own atomic path), so a crash or full disk leaves the
+/// old file or no file — never a torn one that exits 0.
+std::unique_ptr<io::AtomicOstream> open_output(const std::string& path) {
+  auto os = std::make_unique<io::AtomicOstream>(path);
+  if (const api::Status status = os->open(); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return nullptr;
+  }
+  return os;
+}
+
+/// Commit an atomic output; any write error latched while streaming
+/// (ENOSPC halfway through the CSV) surfaces here, naming the path.
+int commit_output(io::AtomicOstream& os) {
+  if (const api::Status status = os.commit(); !status.ok()) return fail(status);
+  return 0;
+}
+
 /// Write the --metrics-out / --trace-out files (either may be empty).
 /// Observability outputs only: the CSV/report bytes on stdout and disk
 /// are already final when this runs. Returns 0 or an exit code.
 int write_obs_outputs(const std::string& metrics_out,
                       const std::string& trace_out) {
   if (!metrics_out.empty()) {
-    std::ofstream os(metrics_out);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
-      return 1;
-    }
-    obs::registry().snapshot().write_json(os);
+    const auto os = open_output(metrics_out);
+    if (!os) return 1;
+    obs::registry().snapshot().write_json(*os);
+    if (const int rc = commit_output(*os); rc != 0) return rc;
   }
   if (!trace_out.empty()) {
     obs::set_trace_enabled(false);
-    std::ofstream os(trace_out);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", trace_out.c_str());
-      return 1;
-    }
-    obs::write_chrome_trace(os);
+    const auto os = open_output(trace_out);
+    if (!os) return 1;
+    obs::write_chrome_trace(*os);
+    if (const int rc = commit_output(*os); rc != 0) return rc;
     if (const std::uint64_t dropped = obs::spans_dropped(); dropped > 0)
       std::fprintf(stderr, "[obs] %llu spans dropped (ring buffer full)\n",
                    static_cast<unsigned long long>(dropped));
@@ -326,8 +353,10 @@ int cmd_optimize(int argc, char** argv) {
               tuned->reverted ? " [reverted]" : "");
   std::printf("%s", tuned->function->describe().c_str());
   if (argc > 6) {
-    std::ofstream os(argv[6]);
-    hash::write_function(os, *tuned->function);
+    const auto os = open_output(argv[6]);
+    if (!os) return 1;
+    hash::write_function(*os, *tuned->function);
+    if (const int rc = commit_output(*os); rc != 0) return rc;
     std::printf("saved to %s\n", argv[6]);
   }
   return 0;
@@ -578,15 +607,12 @@ int cmd_engine(int argc, char** argv) {
       rc != 0)
     return rc;
 
-  std::ofstream file_out;
+  std::unique_ptr<io::AtomicOstream> file_out;
   if (!out_path.empty()) {
-    file_out.open(out_path);
-    if (!file_out) {
-      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-      return 1;
-    }
+    file_out = open_output(out_path);
+    if (!file_out) return 1;
   }
-  std::ostream& os = out_path.empty() ? std::cout : file_out;
+  std::ostream& os = out_path.empty() ? std::cout : *file_out;
 
   if (sharded) {
     const api::Result<shard::ShardPlan> plan =
@@ -632,6 +658,8 @@ int cmd_engine(int argc, char** argv) {
           !saved.ok())
         return fail(saved);
     report->write_csv(os);
+    if (file_out)
+      if (const int rc = commit_output(*file_out); rc != 0) return rc;
     std::fprintf(stderr, "[engine] shard %s: %zu cells, %zu failed%s%s\n",
                  shard_ref.to_string().c_str(), report->cells.size(),
                  report->error_count(),
@@ -669,6 +697,8 @@ int cmd_engine(int argc, char** argv) {
   std::fprintf(stderr, "[engine] profile cache: %llu built, %llu shared\n",
                static_cast<unsigned long long>(report->profiles_built),
                static_cast<unsigned long long>(report->profiles_shared));
+  if (file_out)
+    if (const int rc = commit_output(*file_out); rc != 0) return rc;
   return write_obs_outputs(metrics_out, trace_out);
 }
 
@@ -718,6 +748,7 @@ int cmd_fleet(int argc, char** argv) {
   std::string worker_path;
   std::string launcher_spec = "exec";
   bool progress = false;
+  bool resume = false;
   double progress_interval_s = 1.0;
 
   for (int i = 3; i < argc; ++i) {
@@ -806,6 +837,8 @@ int cmd_fleet(int argc, char** argv) {
       scale = workloads::Scale::small;
     } else if (arg == "--mmap") {
       mmap_traces = true;
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg.rfind("--progress=", 0) == 0) {
@@ -924,6 +957,7 @@ int cmd_fleet(int argc, char** argv) {
   options.cancel = g_cancel.token();
   options.reporter = &reporter;
   options.inject_kill_shard = static_cast<std::uint32_t>(inject_kill);
+  options.resume = resume;
 
   api::Result<fleet::FleetResult> result =
       fleet::dispatch_fleet(request, options);
@@ -931,25 +965,21 @@ int cmd_fleet(int argc, char** argv) {
   if (!result.ok()) return fail(result.status());
   const shard::Report& merged = result->merged;
 
-  std::ofstream file_out;
+  std::unique_ptr<io::AtomicOstream> file_out;
   if (!out_path.empty()) {
-    file_out.open(out_path);
-    if (!file_out) {
-      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-      return 1;
-    }
+    file_out = open_output(out_path);
+    if (!file_out) return 1;
   }
-  merged.write_csv(out_path.empty() ? std::cout : file_out);
+  merged.write_csv(out_path.empty() ? std::cout : *file_out);
+  if (file_out)
+    if (const int rc = commit_output(*file_out); rc != 0) return rc;
   if (!report_out.empty())
     if (const api::Status saved = shard::save_report(merged, report_out);
         !saved.ok())
       return fail(saved);
   if (!fleet_metrics_out.empty()) {
-    std::ofstream os(fleet_metrics_out);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", fleet_metrics_out.c_str());
-      return 1;
-    }
+    const auto os = open_output(fleet_metrics_out);
+    if (!os) return 1;
     // Workers' aggregated obs sections plus the driver's own registry
     // (fleet.launches, fleet.retries, heartbeat/kill counters) — one
     // document for the whole fleet.
@@ -961,13 +991,14 @@ int cmd_fleet(int argc, char** argv) {
                    "[fleet] warning: no worker carried an observability "
                    "section; fleet metrics cover only the driver\n");
     }
-    fleet_snapshot.write_openmetrics(os);
+    fleet_snapshot.write_openmetrics(*os);
+    if (const int rc = commit_output(*os); rc != 0) return rc;
   }
   std::fprintf(stderr,
-               "[fleet] %ld shards merged: %u launches (%u requeued), "
-               "%zu cells, %zu failed\n",
+               "[fleet] %ld shards merged: %u launches (%u requeued, "
+               "%u resumed from disk), %zu cells, %zu failed\n",
                num_shards, result->launches, result->retries,
-               merged.cells.size(), merged.error_count());
+               result->resumed, merged.cells.size(), merged.error_count());
   return merged.error_count() == 0 ? 0 : 1;
 }
 
@@ -1012,33 +1043,31 @@ int cmd_merge(int argc, char** argv) {
   // Default to CSV on stdout so `merge a b c > out.csv` does the
   // expected thing when no destination options are given.
   if (!csv_path.empty() || out_path.empty()) {
-    std::ofstream file_out;
     const bool to_stdout = csv_path.empty() || csv_path == "-";
+    std::unique_ptr<io::AtomicOstream> file_out;
     if (!to_stdout) {
-      file_out.open(csv_path);
-      if (!file_out) {
-        std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
-        return 1;
-      }
+      file_out = open_output(csv_path);
+      if (!file_out) return 1;
     }
-    merged->write_csv(to_stdout ? std::cout : file_out);
+    merged->write_csv(to_stdout ? std::cout : *file_out);
+    if (file_out)
+      if (const int rc = commit_output(*file_out); rc != 0) return rc;
   }
   if (!fleet_metrics_out.empty()) {
-    std::ofstream os(fleet_metrics_out);
-    if (!os) {
-      std::fprintf(stderr, "cannot open %s\n", fleet_metrics_out.c_str());
-      return 1;
-    }
+    const auto os = open_output(fleet_metrics_out);
+    if (!os) return 1;
+    std::ostream& metrics_os = *os;
     if (merged->obs.has_value()) {
-      merged->obs->snapshot.write_openmetrics(os);
+      merged->obs->snapshot.write_openmetrics(metrics_os);
     } else {
       // Still a valid (empty) exposition, so downstream scrapers parse.
-      obs::Snapshot{}.write_openmetrics(os);
+      obs::Snapshot{}.write_openmetrics(metrics_os);
       std::fprintf(stderr,
                    "[merge] warning: no shard carried an observability "
                    "section (v1 reports or obs-off workers); fleet metrics "
                    "are empty\n");
     }
+    if (const int rc = commit_output(*os); rc != 0) return rc;
   }
   std::fprintf(stderr,
                "[merge] %zu shards -> %zu cells (%zu failed), request %s\n",
@@ -1075,19 +1104,18 @@ int cmd_trace_merge(int argc, char** argv) {
   }
   if (inputs.empty()) return usage();
 
-  std::ofstream file_out;
   const bool to_stdout = out_path.empty() || out_path == "-";
+  std::unique_ptr<io::AtomicOstream> file_out;
   if (!to_stdout) {
-    file_out.open(out_path);
-    if (!file_out) {
-      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-      return 1;
-    }
+    file_out = open_output(out_path);
+    if (!file_out) return 1;
   }
   if (const api::Status merged = obs::merge_chrome_traces(
-          inputs, to_stdout ? std::cout : file_out);
+          inputs, to_stdout ? std::cout : *file_out);
       !merged.ok())
     return fail(merged);
+  if (file_out)
+    if (const int rc = commit_output(*file_out); rc != 0) return rc;
   std::fprintf(stderr,
                "[trace-merge] %zu traces stitched (one process track "
                "each)%s%s\n",
@@ -1358,16 +1386,14 @@ int cmd_report_csv(int argc, char** argv) {
   if (argc < 4) return usage();
   const api::Result<shard::Report> loaded = shard::load_report(argv[3]);
   if (!loaded.ok()) return fail(loaded.status());
-  std::ofstream file_out;
   const bool to_stdout = argc < 5 || std::strcmp(argv[4], "-") == 0;
+  std::unique_ptr<io::AtomicOstream> file_out;
   if (!to_stdout) {
-    file_out.open(argv[4]);
-    if (!file_out) {
-      std::fprintf(stderr, "cannot open %s\n", argv[4]);
-      return 1;
-    }
+    file_out = open_output(argv[4]);
+    if (!file_out) return 1;
   }
-  loaded->write_csv(to_stdout ? std::cout : file_out);
+  loaded->write_csv(to_stdout ? std::cout : *file_out);
+  if (file_out) return commit_output(*file_out);
   return 0;
 }
 
@@ -1450,7 +1476,9 @@ int cmd_trace(int argc, char** argv) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_command(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
@@ -1473,4 +1501,55 @@ int main(int argc, char** argv) {
     return 1;
   }
   return usage();
+}
+
+/// Flush stdout and fold its state into the exit code. With SIGPIPE
+/// ignored, a downstream consumer exiting early (`report csv big.rpt |
+/// head`) surfaces as EPIPE on stdout — a clean early exit by
+/// convention, not an error. Any other stdout failure (full disk behind
+/// a redirect) must fail loudly: the bytes the caller asked for are not
+/// all there.
+int finish_stdout(int rc) {
+  errno = 0;
+  std::cout.flush();
+  const bool cout_bad = std::cout.bad();
+  const bool stdio_bad = std::fflush(stdout) != 0 || std::ferror(stdout) != 0;
+  if (!cout_bad && !stdio_bad) return rc;
+  if (errno == EPIPE) return rc;
+  std::fprintf(stderr, "error: writing to stdout failed: %s\n",
+               std::strerror(errno));
+  return rc == 0 ? 1 : rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // `xoridx report csv big.rpt | head` must not die mid-pipe: with
+  // SIGPIPE ignored, writes to a closed pipe return EPIPE instead,
+  // which finish_stdout treats as a clean early exit.
+  std::signal(SIGPIPE, SIG_IGN);
+  // Chaos configuration: --failpoints <spec> (before the command) or
+  // the XORIDX_FAILPOINTS environment variable. Rejected specs — and
+  // any spec in a build compiled without -DXORIDX_FAILPOINTS=ON — are
+  // usage errors: a chaos run that silently injects nothing would
+  // report a pass it never earned.
+  if (argc >= 2 && std::strcmp(argv[1], "--failpoints") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "error: --failpoints wants a spec "
+                           "(site=action[@n][;...])\n");
+      return 2;
+    }
+    if (const api::Status status = fail::configure(argv[2]); !status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+      return 2;
+    }
+    argv[2] = argv[0];  // keep argv[0] = program path after the shift
+    argv += 2;
+    argc -= 2;
+  } else if (const api::Status status = fail::configure_from_env();
+             !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 2;
+  }
+  return finish_stdout(run_command(argc, argv));
 }

@@ -6,9 +6,9 @@
 #pragma once
 
 #define XORIDX_VERSION_MAJOR 0
-#define XORIDX_VERSION_MINOR 9
+#define XORIDX_VERSION_MINOR 10
 #define XORIDX_VERSION_PATCH 0
-#define XORIDX_VERSION "0.9.0"
+#define XORIDX_VERSION "0.10.0"
 
 namespace xoridx::api {
 

@@ -1,0 +1,224 @@
+#include "fail/failpoint.hpp"
+
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace xoridx::fail {
+
+using api::Status;
+using api::StatusCode;
+
+namespace {
+
+enum class ActionKind { error, delay, crash };
+
+struct Rule {
+  ActionKind kind = ActionKind::error;
+  int error_code = 0;        ///< errno value for ActionKind::error
+  std::uint64_t delay_ms = 0;
+  /// Fire only on the nth evaluation (1-based); 0 = every evaluation.
+  std::uint64_t trigger_at = 0;
+};
+
+struct Site {
+  Rule rule;
+  std::uint64_t hits = 0;
+};
+
+std::mutex g_mutex;
+std::unordered_map<std::string, Site>& sites() {
+  static auto* map = new std::unordered_map<std::string, Site>();
+  return *map;
+}
+/// Fast-path gate: point() returns immediately while this is 0, so an
+/// unconfigured build pays one relaxed load per site.
+std::atomic<std::uint32_t> g_active{0};
+
+/// The errno names the spec grammar accepts by name; anything else must
+/// be given numerically. Chosen for the failures the durability layer
+/// actually models: full disk, generic I/O error, permissions, broken
+/// pipe, timeout-ish EAGAIN.
+int errno_by_name(const std::string& name) {
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EIO") return EIO;
+  if (name == "EACCES") return EACCES;
+  if (name == "EPIPE") return EPIPE;
+  if (name == "EAGAIN") return EAGAIN;
+  if (name == "EROFS") return EROFS;
+  return 0;
+}
+
+Status parse_error(const std::string& token, const std::string& why) {
+  return Status(StatusCode::invalid_argument,
+                "bad failpoint spec near '" + token + "': " + why);
+}
+
+/// Parse one `site=action[@n]` rule into `out`; `site_out` receives the
+/// site name.
+Status parse_rule(const std::string& text, std::string& site_out,
+                  Rule& out) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0)
+    return parse_error(text, "want site=action");
+  site_out = text.substr(0, eq);
+  std::string action = text.substr(eq + 1);
+
+  const std::size_t at = action.rfind('@');
+  if (at != std::string::npos && action.find(')', at) == std::string::npos) {
+    const std::string count = action.substr(at + 1);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(count.c_str(), &end, 10);
+    if (count.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+        n == 0)
+      return parse_error(text, "'@' wants a positive trigger count");
+    out.trigger_at = n;
+    action.resize(at);
+  }
+
+  if (action == "crash") {
+    out.kind = ActionKind::crash;
+    return {};
+  }
+  if (action == "off") {
+    // Parsed but never installed; lets scripts comment a rule out by
+    // editing the action instead of deleting the whole rule.
+    out.kind = ActionKind::error;
+    out.error_code = 0;
+    return {};
+  }
+  const auto call = [&](const char* name) -> std::string {
+    const std::string prefix = std::string(name) + "(";
+    if (action.rfind(prefix, 0) == 0 && action.back() == ')')
+      return action.substr(prefix.size(),
+                           action.size() - prefix.size() - 1);
+    return {};
+  };
+  if (const std::string arg = call("error"); !arg.empty()) {
+    out.kind = ActionKind::error;
+    out.error_code = errno_by_name(arg);
+    if (out.error_code == 0) {
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(arg.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || errno == ERANGE || v <= 0)
+        return parse_error(
+            text, "error() wants an errno name (ENOSPC, EIO, EACCES, "
+                  "EPIPE, EAGAIN, EROFS) or a positive number");
+      out.error_code = static_cast<int>(v);
+    }
+    return {};
+  }
+  if (const std::string arg = call("delay"); !arg.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long ms = std::strtoull(arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || errno == ERANGE)
+      return parse_error(text, "delay() wants milliseconds");
+    out.kind = ActionKind::delay;
+    out.delay_ms = ms;
+    return {};
+  }
+  return parse_error(
+      text, "want error(<errno>), delay(<ms>), crash, or off");
+}
+
+void sleep_ms(std::uint64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+bool compiled() noexcept { return XORIDX_FAILPOINTS_ENABLED != 0; }
+
+int point(const char* site) noexcept {
+  if (g_active.load(std::memory_order_relaxed) == 0) return 0;
+  Rule rule;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = sites().find(site);
+    if (it == sites().end()) return 0;
+    Site& s = it->second;
+    ++s.hits;
+    fire = s.rule.trigger_at == 0 || s.hits == s.rule.trigger_at;
+    rule = s.rule;
+  }
+  if (!fire) return 0;
+  switch (rule.kind) {
+    case ActionKind::error:
+      return rule.error_code;
+    case ActionKind::delay:
+      sleep_ms(rule.delay_ms);
+      return 0;
+    case ActionKind::crash:
+      // Die as hard as a power cut: no atexit hooks, no stack
+      // unwinding, no buffered-stream flushes. Exactly the failure the
+      // atomic-write protocol must leave no torn files behind.
+      ::kill(::getpid(), SIGKILL);
+      ::_exit(137);  // unreachable; SIGKILL cannot be handled
+  }
+  return 0;
+}
+
+api::Status configure(const std::string& spec) {
+  std::unordered_map<std::string, Site> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string rule_text = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (rule_text.empty()) continue;
+    std::string site;
+    Rule rule;
+    if (Status status = parse_rule(rule_text, site, rule); !status.ok())
+      return status;
+    const bool off =
+        rule.kind == ActionKind::error && rule.error_code == 0;
+    if (!off) parsed[site] = Site{rule, 0};
+  }
+  if (!parsed.empty() && !compiled())
+    return Status(
+        StatusCode::invalid_argument,
+        "failpoints requested but this build compiled them out; rebuild "
+        "with -DXORIDX_FAILPOINTS=ON (a chaos run that injects nothing "
+        "would report a pass it never earned)");
+  std::lock_guard<std::mutex> lock(g_mutex);
+  sites() = std::move(parsed);
+  g_active.store(static_cast<std::uint32_t>(sites().size()),
+                 std::memory_order_relaxed);
+  return {};
+}
+
+api::Status configure_from_env() {
+  const char* spec = std::getenv("XORIDX_FAILPOINTS");
+  if (spec == nullptr) return {};
+  return configure(spec);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  sites().clear();
+  g_active.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = sites().find(site);
+  return it == sites().end() ? 0 : it->second.hits;
+}
+
+}  // namespace xoridx::fail

@@ -1,0 +1,87 @@
+// Failpoints: named fault-injection sites for chaos testing.
+//
+// Production code marks the places where the outside world can fail —
+// a write that can hit ENOSPC, a rename the process can die under, a
+// poll loop the driver can crash in — with XORIDX_FAILPOINT("site").
+// A build compiled with -DXORIDX_FAILPOINTS=ON evaluates each site
+// against the active configuration; the default build compiles every
+// site to the integer literal 0 so the hot paths carry no branch at
+// all. The configuration parser, the registry and fail::compiled() are
+// always built, so tooling and tests can validate specs (and skip
+// injection tests) in any configuration.
+//
+// Spec grammar, from code or the XORIDX_FAILPOINTS environment variable:
+//
+//   spec    := rule (';' rule)*
+//   rule    := site '=' action ['@' n]
+//   action  := 'error(' errno-name-or-number ')' | 'delay(' ms ')'
+//              | 'crash' | 'off'
+//
+// `@n` makes the action fire only on the n-th evaluation of that site
+// (1-based, counted from configure()); without it the action fires on
+// every evaluation. Trigger counts are per-site and deterministic, so
+// "the second report write fails with ENOSPC" or "the driver dies the
+// moment the third shard lands" are exact, repeatable scenarios:
+//
+//   XORIDX_FAILPOINTS='shard.report.write=error(ENOSPC)@2;fleet.poll=delay(50)'
+//
+// Actions: error(E) makes point() return the errno value E — the site
+// turns it into its native failure (a Status, an exception, a failed
+// syscall). delay(ms) sleeps, then proceeds. crash raises SIGKILL: the
+// process dies as hard as a power cut, which is exactly what the
+// durability layer must survive. Site names are not validated against
+// a list — a rule for a site that is never evaluated simply never
+// fires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/status.hpp"
+
+namespace xoridx::fail {
+
+/// True when this build evaluates failpoint sites (-DXORIDX_FAILPOINTS=ON).
+/// Parsing and configuration work either way; injection tests should
+/// skip when this is false.
+[[nodiscard]] bool compiled() noexcept;
+
+/// Evaluate one site against the active configuration. Returns 0 when
+/// the site should proceed normally, or an errno value the site must
+/// fail with. delay() sleeps before returning 0; crash never returns.
+/// Cheap when nothing is configured (one relaxed atomic load). Prefer
+/// the XORIDX_FAILPOINT macro, which compiles to 0 in default builds.
+int point(const char* site) noexcept;
+
+/// Install a configuration from the spec grammar above, replacing any
+/// previous one and resetting all hit counts. Parse errors name the
+/// offending token. An empty spec clears the configuration.
+/// Fails with StatusCode::invalid_argument when the spec is non-empty
+/// and this build was compiled without failpoints — silently ignoring
+/// a chaos configuration would make a fault-injection run report a
+/// clean pass it never earned.
+[[nodiscard]] api::Status configure(const std::string& spec);
+
+/// configure() from the XORIDX_FAILPOINTS environment variable (absent
+/// or empty means no configuration).
+[[nodiscard]] api::Status configure_from_env();
+
+/// Drop every rule and reset all hit counts.
+void reset();
+
+/// Times a site has been evaluated since the last configure()/reset().
+/// Sites are counted only while a configuration is active (the fast
+/// path does not touch the registry).
+[[nodiscard]] std::uint64_t hits(const std::string& site);
+
+}  // namespace xoridx::fail
+
+#ifndef XORIDX_FAILPOINTS_ENABLED
+#define XORIDX_FAILPOINTS_ENABLED 0
+#endif
+
+#if XORIDX_FAILPOINTS_ENABLED
+#define XORIDX_FAILPOINT(site) (::xoridx::fail::point(site))
+#else
+#define XORIDX_FAILPOINT(site) 0
+#endif

@@ -4,12 +4,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "fail/failpoint.hpp"
 #include "fleet/heartbeat.hpp"
+#include "fleet/manifest.hpp"
+#include "io/atomic_file.hpp"
 #include "obs/metrics.hpp"
 #include "shard/plan.hpp"
 
@@ -97,6 +101,27 @@ api::Result<FleetResult> dispatch_fleet(const api::ExplorationRequest& request,
                                               "': " + ec.message());
   }
 
+  // Preflight: prove the work dir accepts a durable write before any
+  // worker launches. A read-only or full volume fails here, in
+  // milliseconds with a named error, instead of after every shard burns
+  // its attempts on unwritable reports.
+  {
+    const std::string probe = options.work_dir + "/.preflight";
+    Status status;
+    if (int injected = XORIDX_FAILPOINT("fleet.preflight"); injected != 0)
+      status = Status(StatusCode::io_error,
+                      "cannot create temp file for " + probe + ": " +
+                          std::strerror(injected));
+    else
+      status = io::write_file_atomic(probe, "xoridx fleet preflight probe\n");
+    if (!status.ok())
+      return Status(StatusCode::io_error,
+                    "fleet work dir '" + options.work_dir +
+                        "' failed its write preflight: " + status.message());
+    std::error_code ec;
+    std::filesystem::remove(probe, ec);
+  }
+
   const std::uint32_t n = options.num_shards;
   const std::uint32_t max_parallel =
       options.max_parallel == 0 ? n : options.max_parallel;
@@ -104,6 +129,62 @@ api::Result<FleetResult> dispatch_fleet(const api::ExplorationRequest& request,
   std::vector<Slot> slots(n);
   FleetResult fleet;
   Launcher& launcher = *options.launcher;
+
+  const std::string manifest_file = manifest_path(options.work_dir);
+  Manifest manifest;
+  manifest.fingerprint = plan.fingerprint();
+  manifest.num_shards = n;
+  manifest.total_cells = plan.total_cells();
+  manifest.attempts.assign(n, 0);
+
+  if (options.resume) {
+    auto loaded = load_manifest(manifest_file);
+    if (!loaded.ok())
+      return Status(loaded.status().code(),
+                    "cannot resume fleet campaign: " +
+                        loaded.status().message());
+    const Manifest& prev = loaded.value();
+    if (!(prev.fingerprint == plan.fingerprint()))
+      return Status(StatusCode::invalid_argument,
+                    "cannot resume: manifest " + manifest_file +
+                        " records campaign fingerprint " +
+                        prev.fingerprint.to_string() +
+                        " but the rebuilt request fingerprints as " +
+                        plan.fingerprint().to_string() +
+                        " (different traces, geometries, strategies, or "
+                        "trace edits since the original run)");
+    if (prev.num_shards != n)
+      return Status(StatusCode::invalid_argument,
+                    "cannot resume: manifest " + manifest_file + " records " +
+                        std::to_string(prev.num_shards) +
+                        " shards but this run asks for " + std::to_string(n));
+    manifest.attempts = prev.attempts;
+    for (std::uint32_t index = 1; index <= n; ++index)
+      slots[index - 1].attempts = manifest.attempts[index - 1];
+
+    // Re-validate whatever landed before the driver died. The merger
+    // runs the same fingerprint/checksum/shape checks as a live reap, so
+    // a torn or foreign report is simply re-run, never merged.
+    for (std::uint32_t index = 1; index <= n; ++index) {
+      const std::string report_file =
+          shard_report_path(options.work_dir, index);
+      auto report = shard::load_report(report_file);
+      if (!report.ok()) continue;
+      if (report.value().shard_index != index) continue;
+      const std::uint64_t cells = report.value().cells.size();
+      if (!merger.add(std::move(report.value())).ok()) continue;
+      slots[index - 1].state = SlotState::landed;
+      ++fleet.resumed;
+      XORIDX_OBS_COUNT("fleet.resumed_shards", 1);
+      XORIDX_OBS_COUNT("fleet.cells_landed", cells);
+    }
+  }
+
+  // Persist the campaign identity (and, on resume, the restored attempt
+  // budget) before the first launch: from here on a driver death is
+  // resumable.
+  if (Status status = save_manifest(manifest, manifest_file); !status.ok())
+    return status;
 
   const auto kill_running = [&] {
     for (Slot& slot : slots)
@@ -124,6 +205,15 @@ api::Result<FleetResult> dispatch_fleet(const api::ExplorationRequest& request,
 
   const auto launch = [&](std::uint32_t index) -> Status {
     Slot& slot = slots[index - 1];
+    // The attempt budget is durable: a resumed campaign whose manifest
+    // already records max_attempts for this shard has no launches left.
+    if (slot.attempts >= options.max_attempts)
+      return Status(StatusCode::internal,
+                    "shard " + std::to_string(index) + " already consumed " +
+                        std::to_string(slot.attempts) +
+                        " attempts (recorded in the campaign manifest) "
+                        "without landing a valid report; worker log: " +
+                        shard_log_path(options.work_dir, index));
     const std::string report = shard_report_path(options.work_dir, index);
     const std::string heartbeat =
         shard_heartbeat_path(options.work_dir, index);
@@ -138,6 +228,14 @@ api::Result<FleetResult> dispatch_fleet(const api::ExplorationRequest& request,
     command.argv =
         substitute_argv(options.worker_argv, index, n, report, heartbeat);
     command.log_path = shard_log_path(options.work_dir, index);
+
+    // Charge the attempt to the durable budget before the worker exists:
+    // if the driver dies between spawn and the next manifest write, a
+    // resume must not grant this shard a free extra attempt.
+    manifest.attempts[index - 1] = slot.attempts + 1;
+    if (Status status = save_manifest(manifest, manifest_file); !status.ok())
+      return status;
+
     auto handle = launcher.spawn(command);
     if (!handle.ok()) return handle.status();
     slot.handle = handle.value();
@@ -200,6 +298,10 @@ api::Result<FleetResult> dispatch_fleet(const api::ExplorationRequest& request,
         slot.state = SlotState::landed;
         XORIDX_OBS_COUNT("fleet.shards_done", 1);
         XORIDX_OBS_COUNT("fleet.cells_landed", cells);
+        // Chaos hook: `fleet.shard.landed=crash@k` SIGKILLs the driver
+        // at the exact moment the k-th shard lands — the deterministic
+        // driver-death scenario the resume tests and CI smoke replay.
+        (void)XORIDX_FAILPOINT("fleet.shard.landed");
         return std::nullopt;
       }
       XORIDX_OBS_COUNT("fleet.reports_rejected", 1);
@@ -213,6 +315,9 @@ api::Result<FleetResult> dispatch_fleet(const api::ExplorationRequest& request,
   };
 
   while (!merger.complete()) {
+    // Chaos hook: delay() widens poll-loop race windows, crash kills the
+    // driver mid-sweep with workers in every state.
+    (void)XORIDX_FAILPOINT("fleet.poll");
     if (options.cancel.cancelled()) {
       kill_running();
       return Status(StatusCode::cancelled, "fleet dispatch cancelled");

@@ -58,12 +58,20 @@ struct FleetOptions {
   /// shard's first attempt as soon as it proves alive (heartbeat file
   /// present, report not yet written). 0 disables.
   std::uint32_t inject_kill_shard = 0;
+  /// Resume a campaign whose driver died: load the work dir's manifest
+  /// (refusing on a fingerprint or shard-count mismatch with the rebuilt
+  /// request), restore per-shard attempt budgets, re-validate landed
+  /// shard-<i>.rpt files through the merger's checks, and launch only
+  /// the shards that are missing or invalid.
+  bool resume = false;
 };
 
 struct FleetResult {
   shard::Report merged;
   std::uint32_t launches = 0;  ///< total worker launches incl. retries
   std::uint32_t retries = 0;   ///< requeues (launches - num_shards)
+  /// Shards restored from landed reports by --resume, with no launch.
+  std::uint32_t resumed = 0;
 };
 
 /// Paths the dispatcher and its workers agree on. Exposed so the CLI,

@@ -9,12 +9,19 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fail/failpoint.hpp"
+
 namespace xoridx::fleet {
 
 using api::Status;
 using api::StatusCode;
 
 api::Status touch_heartbeat(const std::string& path) {
+  // Chaos hook: error() simulates a dying disk under the beat, delay()
+  // a stalled one — the dispatcher's watchdog must kill and requeue.
+  if (int injected = XORIDX_FAILPOINT("fleet.heartbeat.touch"); injected != 0)
+    return Status(StatusCode::io_error, "cannot touch heartbeat '" + path +
+                                            "': " + std::strerror(injected));
   // Rewrite rather than utime(): a write updates mtime atomically with
   // actually exercising the filesystem, so a read-only or full disk
   // shows up as a failed beat instead of a stale-looking one.

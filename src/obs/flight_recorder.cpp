@@ -38,7 +38,12 @@ std::atomic<bool> g_armed{false};
 // the counter totals continuously by the sampler into whichever of the
 // two buffers is not published.
 
+// Both paths pre-formatted at install: the handler writes the dump to
+// the temp path and rename()s it into place (open/write/close/rename
+// are all async-signal-safe), so a second crash — or a power cut —
+// mid-dump can never leave a torn dump at the published path.
 char g_crash_path[1024] = {0};
+char g_crash_temp_path[1088] = {0};
 
 constexpr std::size_t counters_buffer_size = 16384;
 char g_counters_text[2][counters_buffer_size];
@@ -110,7 +115,7 @@ void write_u64(int fd, std::uint64_t v) {
 void crash_handler(int sig) {
   if (g_crash_path[0] != 0) {
     const int fd =
-        ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        ::open(g_crash_temp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd >= 0) {
       write_str(fd, "xoridx flight recorder crash dump\nsignal: ");
       if (sig == SIGSEGV) {
@@ -155,6 +160,7 @@ void crash_handler(int sig) {
       if (!any) write_str(fd, "  (none)\n");
       write_str(fd, "\nend of crash dump\n");
       ::close(fd);
+      ::rename(g_crash_temp_path, g_crash_path);
     }
   }
   // Re-raise with the default disposition so exit status / core dumps are
@@ -169,6 +175,8 @@ void install_flight_recorder(const std::string& crash_path) {
   std::lock_guard<std::mutex> lock(g_control_mutex);
   std::snprintf(g_crash_path, sizeof(g_crash_path), "%s",
                 crash_path.c_str());
+  std::snprintf(g_crash_temp_path, sizeof(g_crash_temp_path), "%s.tmp.%ld",
+                g_crash_path, static_cast<long>(::getpid()));
   sample_counters();  // dump is meaningful even before the first tick
   if (g_armed.load(std::memory_order_relaxed)) return;
   // Disarm on normal exit: the sampler must not outlive the registry's
@@ -207,6 +215,7 @@ void uninstall_flight_recorder() {
   g_sampler_cv.notify_all();
   if (g_sampler.joinable()) g_sampler.join();
   g_crash_path[0] = 0;
+  g_crash_temp_path[0] = 0;
 }
 
 bool flight_recorder_armed() noexcept {

@@ -17,6 +17,7 @@
 #include <sstream>
 #include <utility>
 
+#include "fail/failpoint.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
@@ -76,10 +77,16 @@ struct Server::Connection {
     {
       std::lock_guard lock(write_mutex);
       if (closed.load(std::memory_order_relaxed)) return;
+      // Chaos hook: error(EPIPE) simulates the peer vanishing mid-frame,
+      // delay() a congested socket under SO_SNDTIMEO.
+      if (int injected = XORIDX_FAILPOINT("serve.send"); injected != 0) {
+        timed_out = injected == EAGAIN || injected == EWOULDBLOCK;
+        closed.store(true, std::memory_order_relaxed);
+      }
       std::string wire = frame;
       wire += '\n';
       std::size_t off = 0;
-      while (off < wire.size()) {
+      while (off < wire.size() && !closed.load(std::memory_order_relaxed)) {
         const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
                                  MSG_NOSIGNAL);
         if (n < 0) {

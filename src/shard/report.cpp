@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "engine/report.hpp"
+#include "fail/failpoint.hpp"
+#include "io/atomic_file.hpp"
 
 namespace xoridx::shard {
 
@@ -361,15 +363,14 @@ api::Status save_report(const Report& report, const std::string& path) {
   put_u64(out, fnv1a(reinterpret_cast<const unsigned char*>(out.data()),
                      out.size()));
 
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os)
+  // Atomic write: the dispatcher treats the report file's existence as
+  // the worker's verdict, so a crashed or ENOSPC'd worker must leave no
+  // file at all rather than a torn one that burns a retry on rejection.
+  if (int injected = XORIDX_FAILPOINT("shard.report.write"); injected != 0)
     return Status(StatusCode::io_error,
-                  "cannot open report file for writing: " + path);
-  os.write(out.data(), static_cast<std::streamsize>(out.size()));
-  os.flush();
-  if (!os)
-    return Status(StatusCode::io_error, "short write to report file: " + path);
-  return {};
+                  "cannot write report file " + path + ": " +
+                      std::strerror(injected));
+  return io::write_file_atomic(path, out);
 }
 
 api::Result<Report> load_report(const std::string& path) {

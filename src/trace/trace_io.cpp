@@ -6,7 +6,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "io/atomic_file.hpp"
 
 namespace xoridx::trace {
 namespace {
@@ -86,9 +89,14 @@ Trace read_trace(std::istream& is) {
 }
 
 void save_trace(const std::string& path, const Trace& t) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
-  write_trace(os, t);
+  // Serialize to memory, then land the file atomically: a crash or full
+  // disk mid-save leaves either the old trace or no trace, never a torn
+  // one. write_trace's own stream check catches formatting failures.
+  std::ostringstream buffer(std::ios::binary);
+  write_trace(buffer, t);
+  if (const api::Status status = io::write_file_atomic(path, buffer.str());
+      !status.ok())
+    throw std::runtime_error(std::string(status.message()));
 }
 
 Trace load_trace(const std::string& path) {

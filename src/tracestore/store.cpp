@@ -6,21 +6,30 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "io/atomic_file.hpp"
 #include "tracestore/writer.hpp"
 
 namespace xoridx::tracestore {
 namespace {
 
+/// The tracestore layer reports I/O failure by exception; the atomic
+/// writer reports it by Status. Bridge the two, keeping the path in the
+/// message.
+void check(const api::Status& status) {
+  if (!status.ok()) throw std::runtime_error(std::string(status.message()));
+}
+
 /// Streaming v1 writer counterpart of TraceWriter, used by convert_trace.
 /// The record count is known up front from the source, so the header is
-/// written once, no patching needed.
+/// written once, no patching needed. Atomic like every other artifact:
+/// the destination only appears complete.
 TraceId write_v1_stream(const std::string& path, TraceSource& source) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  io::AtomicFileWriter out(path);
+  check(out.open());
   unsigned char header[v1_header_bytes];
   std::memcpy(header, v1_magic.data(), v1_magic.size());
   store_le64(header + v1_magic.size(), source.size());
-  os.write(reinterpret_cast<const char*>(header), v1_header_bytes);
+  check(out.write(header, v1_header_bytes));
 
   TraceIdHasher hasher;
   std::vector<unsigned char> buf;
@@ -31,14 +40,12 @@ TraceId write_v1_stream(const std::string& path, TraceSource& source) {
     buf.insert(buf.end(), record, record + v1_record_bytes);
     hasher.update(a);
     if (buf.size() >= (1u << 20)) {
-      os.write(reinterpret_cast<const char*>(buf.data()),
-               static_cast<std::streamsize>(buf.size()));
+      check(out.write(buf.data(), buf.size()));
       buf.clear();
     }
   });
-  os.write(reinterpret_cast<const char*>(buf.data()),
-           static_cast<std::streamsize>(buf.size()));
-  if (!os) throw std::runtime_error("trace write failed: " + path);
+  check(out.write(buf.data(), buf.size()));
+  check(out.commit());
   return hasher.digest();
 }
 

@@ -1,19 +1,36 @@
 #include "tracestore/writer.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
+
+#include "fail/failpoint.hpp"
 
 namespace xoridx::tracestore {
 
+namespace {
+
+/// The tracestore layer reports I/O failure by exception; the atomic
+/// writer reports it by Status. Bridge the two, keeping the path in the
+/// message.
+void check(const api::Status& status) {
+  if (!status.ok()) throw std::runtime_error(std::string(status.message()));
+}
+
+void check_failpoint(const std::string& path) {
+  if (int injected = XORIDX_FAILPOINT("tracestore.write"); injected != 0)
+    throw std::runtime_error("trace write failed: " + path + ": " +
+                             std::strerror(injected));
+}
+
+}  // namespace
+
 TraceWriter::TraceWriter(const std::string& path,
                          std::uint32_t chunk_capacity)
-    : path_(path),
-      os_(path, std::ios::binary | std::ios::trunc),
-      chunk_capacity_(chunk_capacity) {
+    : path_(path), out_(path), chunk_capacity_(chunk_capacity) {
   if (chunk_capacity_ == 0)
     throw std::invalid_argument("chunk capacity must be nonzero");
-  if (!os_)
-    throw std::runtime_error("cannot open " + path + " for writing");
+  check(out_.open());
   pending_.reserve(chunk_capacity_);
   // Placeholder header; finish() patches the totals in place.
   unsigned char header[v2_header_bytes] = {};
@@ -22,8 +39,7 @@ TraceWriter::TraceWriter(const std::string& path,
   store_le32(header + v2_off_header_bytes,
              static_cast<std::uint32_t>(v2_header_bytes));
   store_le32(header + v2_off_chunk_capacity, chunk_capacity_);
-  os_.write(reinterpret_cast<const char*>(header), v2_header_bytes);
-  if (!os_) throw std::runtime_error("trace write failed: " + path);
+  check(out_.write(header, v2_header_bytes));
 }
 
 TraceWriter::~TraceWriter() {
@@ -31,8 +47,8 @@ TraceWriter::~TraceWriter() {
   try {
     finish();
   } catch (...) {
-    // Destructor must not throw; an incomplete file fails magic/bounds
-    // validation on read.
+    // Destructor must not throw; the atomic writer abandons its temp
+    // file, so a half-written trace never reaches the destination path.
   }
 }
 
@@ -47,6 +63,7 @@ void TraceWriter::append(const trace::Access& a) {
 
 void TraceWriter::flush_chunk() {
   if (pending_.empty()) return;
+  check_failpoint(path_);
   ChunkHeader h;
   h.count = static_cast<std::uint32_t>(pending_.size());
   h.min_addr = pending_.front().addr;
@@ -66,24 +83,23 @@ void TraceWriter::flush_chunk() {
     scratch_.push_back(static_cast<unsigned char>(a.kind));
   h.payload_bytes = static_cast<std::uint32_t>(scratch_.size());
 
-  chunk_offsets_.push_back(static_cast<std::uint64_t>(os_.tellp()));
+  chunk_offsets_.push_back(out_.offset());
   unsigned char header[v2_chunk_header_bytes];
   encode_chunk_header(header, h);
-  os_.write(reinterpret_cast<const char*>(header), v2_chunk_header_bytes);
-  os_.write(reinterpret_cast<const char*>(scratch_.data()),
-            static_cast<std::streamsize>(scratch_.size()));
-  if (!os_) throw std::runtime_error("trace write failed: " + path_);
+  check(out_.write(header, v2_chunk_header_bytes));
+  check(out_.write(scratch_.data(), scratch_.size()));
   pending_.clear();
 }
 
 TraceId TraceWriter::finish() {
   if (finished_) return hasher_.digest();
   flush_chunk();
-  const std::uint64_t index_offset = static_cast<std::uint64_t>(os_.tellp());
+  check_failpoint(path_);
+  const std::uint64_t index_offset = out_.offset();
   for (const std::uint64_t off : chunk_offsets_) {
     unsigned char buf[8];
     store_le64(buf, off);
-    os_.write(reinterpret_cast<const char*>(buf), 8);
+    check(out_.write(buf, 8));
   }
 
   const TraceId id = hasher_.digest();
@@ -94,11 +110,8 @@ TraceId TraceWriter::finish() {
   store_le64(totals + 24, id.lo);
   store_le64(totals + 32, id.hi);
   store_le64(totals + 40, 0);  // reserved
-  os_.seekp(static_cast<std::streamoff>(v2_off_access_count));
-  os_.write(reinterpret_cast<const char*>(totals), sizeof(totals));
-  os_.flush();
-  if (!os_) throw std::runtime_error("trace write failed: " + path_);
-  os_.close();
+  check(out_.write_at(v2_off_access_count, totals, sizeof(totals)));
+  check(out_.commit());
   finished_ = true;
   return id;
 }

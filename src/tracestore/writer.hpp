@@ -2,15 +2,18 @@
 //
 // Appends accesses into a fixed-capacity chunk buffer; each full chunk is
 // delta+varint encoded and flushed, so resident memory stays O(chunk) no
-// matter how long the trace is. finish() writes the trailing chunk index
-// and patches the header with the totals and the content TraceId.
+// matter how long the trace is. finish() writes the trailing chunk index,
+// patches the header with the totals and the content TraceId, and commits
+// the file into place atomically: bytes stream into `<path>.tmp.<pid>`
+// and the destination only appears (complete, fsync'd) on a successful
+// finish(). A crash or write failure mid-stream leaves no torn trace.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "tracestore/format.hpp"
 #include "tracestore/trace_id.hpp"
 #include "tracestore/trace_source.hpp"
@@ -19,7 +22,7 @@ namespace xoridx::tracestore {
 
 class TraceWriter {
  public:
-  /// Opens (truncates) `path` and writes a placeholder header. Throws
+  /// Opens the temp file and writes a placeholder header. Throws
   /// std::runtime_error on I/O failure, std::invalid_argument on a zero
   /// chunk capacity.
   explicit TraceWriter(const std::string& path,
@@ -35,8 +38,9 @@ class TraceWriter {
   }
 
   /// Flush the pending chunk, write the chunk index, patch the header and
-  /// close the file. Returns the content id now stored in the header.
-  /// Idempotent; the destructor calls it (swallowing errors) if needed.
+  /// atomically commit the file into place. Returns the content id now
+  /// stored in the header. Idempotent; the destructor calls it (swallowing
+  /// errors) if needed — on failure the destination is left untouched.
   TraceId finish();
 
   [[nodiscard]] std::uint64_t accesses_written() const noexcept {
@@ -47,7 +51,7 @@ class TraceWriter {
   void flush_chunk();
 
   std::string path_;
-  std::ofstream os_;
+  io::AtomicFileWriter out_;
   std::uint32_t chunk_capacity_;
   std::vector<trace::Access> pending_;
   std::vector<std::uint64_t> chunk_offsets_;

@@ -17,8 +17,11 @@
 //                                  interface (shared filesystem)
 //   HeartbeatWriter /              worker liveness via sidecar-file
 //   heartbeat_age_s                mtime — no sockets, no protocol
+//   Manifest / save_manifest /     the durable campaign manifest behind
+//   load_manifest                  `xoridx fleet --resume`
 #pragma once
 
 #include "fleet/dispatcher.hpp"  // IWYU pragma: export
 #include "fleet/heartbeat.hpp"   // IWYU pragma: export
 #include "fleet/launcher.hpp"    // IWYU pragma: export
+#include "fleet/manifest.hpp"    // IWYU pragma: export

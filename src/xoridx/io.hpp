@@ -1,0 +1,10 @@
+// Umbrella header: durable I/O and fault injection.
+//
+// AtomicFileWriter / AtomicOstream / write_file_atomic land every
+// artifact crash-safely (temp file + fsync + rename); the fail::
+// namespace is the failpoint registry that chaos tests use to inject
+// ENOSPC, delays and crashes at named sites.
+#pragma once
+
+#include "fail/failpoint.hpp"
+#include "io/atomic_file.hpp"

@@ -27,6 +27,7 @@
 #include "trace/generators.hpp"
 #include "xoridx/api.hpp"
 #include "xoridx/fleet.hpp"
+#include "xoridx/io.hpp"
 #include "xoridx/shard.hpp"
 
 namespace xoridx::fleet {
@@ -339,6 +340,304 @@ TEST(FleetDispatch, SshLauncherRoundTripsThroughFakeSsh) {
   expect_byte_identical(result);
 }
 
+// ------------------------------------------------------------ manifest
+
+TEST(Manifest, SaveLoadRoundTrips) {
+  const std::string dir = temp_dir("xoridx_fleet_manifest");
+  Manifest manifest;
+  manifest.fingerprint = {0x1234abcd, 0xfeed5678};
+  manifest.num_shards = 3;
+  manifest.total_cells = 12;
+  manifest.attempts = {1, 0, 2};
+  const std::string path = manifest_path(dir);
+  ASSERT_TRUE(save_manifest(manifest, path).ok());
+  const api::Result<Manifest> loaded = load_manifest(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().fingerprint, manifest.fingerprint);
+  EXPECT_EQ(loaded.value().num_shards, 3u);
+  EXPECT_EQ(loaded.value().total_cells, 12u);
+  EXPECT_EQ(loaded.value().attempts, manifest.attempts);
+}
+
+TEST(Manifest, MissingFileIsNotFound) {
+  const std::string dir = temp_dir("xoridx_fleet_manifest_missing");
+  const api::Result<Manifest> loaded = load_manifest(manifest_path(dir));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), api::StatusCode::not_found);
+}
+
+TEST(Manifest, BitFlipAndTruncationAreRejected) {
+  const std::string dir = temp_dir("xoridx_fleet_manifest_corrupt");
+  Manifest manifest;
+  manifest.fingerprint = {7, 9};
+  manifest.num_shards = 2;
+  manifest.total_cells = 8;
+  manifest.attempts = {1, 1};
+  const std::string path = manifest_path(dir);
+  ASSERT_TRUE(save_manifest(manifest, path).ok());
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    bytes = os.str();
+  }
+  {
+    // Flip one field; the checksum trailer must catch it.
+    std::string flipped = bytes;
+    const std::size_t at = flipped.find("total_cells 8");
+    ASSERT_NE(at, std::string::npos);
+    flipped[at + std::strlen("total_cells ")] = '9';
+    std::ofstream(path, std::ios::binary) << flipped;
+    const api::Result<Manifest> loaded = load_manifest(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+              std::string::npos)
+        << loaded.status().to_string();
+  }
+  {
+    // A torn (half-written) manifest is rejected, not half-believed.
+    std::ofstream(path, std::ios::binary)
+        << bytes.substr(0, bytes.size() / 2);
+    EXPECT_FALSE(load_manifest(path).ok());
+  }
+}
+
+TEST(Manifest, AttemptsListMustMatchShardCount) {
+  const std::string dir = temp_dir("xoridx_fleet_manifest_shape");
+  Manifest manifest;
+  manifest.fingerprint = {1, 2};
+  manifest.num_shards = 3;
+  manifest.total_cells = 6;
+  manifest.attempts = {1, 1};  // one short
+  const std::string path = manifest_path(dir);
+  ASSERT_TRUE(save_manifest(manifest, path).ok());
+  const api::Result<Manifest> loaded = load_manifest(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("2 entries for 3 shards"),
+            std::string::npos)
+      << loaded.status().to_string();
+}
+
+// ------------------------------------------------------------- resume
+
+TEST(FleetResume, RefusesWhenNoManifestExists) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_resume_none");
+  FleetOptions options = base_options(launcher, dir, "ok");
+  options.resume = true;
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cannot resume fleet campaign"),
+            std::string::npos)
+      << result.status().to_string();
+}
+
+TEST(FleetResume, RefusesFingerprintMismatchByName) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_resume_foreign");
+  // A manifest from some other campaign: same shard count, different
+  // request identity.
+  Manifest manifest;
+  manifest.fingerprint = {0xdead, 0xbeef};
+  manifest.num_shards = 3;
+  manifest.total_cells = 1;
+  manifest.attempts = {0, 0, 0};
+  ASSERT_TRUE(save_manifest(manifest, manifest_path(dir)).ok());
+  FleetOptions options = base_options(launcher, dir, "ok");
+  options.resume = true;
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), api::StatusCode::invalid_argument);
+  EXPECT_NE(result.status().message().find("different traces"),
+            std::string::npos)
+      << result.status().to_string();
+}
+
+TEST(FleetResume, RefusesShardCountMismatchByName) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_resume_shards");
+  const api::Result<shard::ShardPlan> plan =
+      shard::ShardPlan::partition(fleet_request(), 4);
+  ASSERT_TRUE(plan.ok());
+  Manifest manifest;
+  manifest.fingerprint = plan.value().fingerprint();
+  manifest.num_shards = 4;
+  manifest.total_cells = plan.value().total_cells();
+  manifest.attempts = {1, 1, 1, 1};
+  ASSERT_TRUE(save_manifest(manifest, manifest_path(dir)).ok());
+  FleetOptions options = base_options(launcher, dir, "ok");  // 3 shards
+  options.resume = true;
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(
+      result.status().message().find("4 shards but this run asks for 3"),
+      std::string::npos)
+      << result.status().to_string();
+}
+
+// The revalidation contract: a landed report re-enters the merge only
+// if it passes the same checks a live reap applies. Here shard 2's
+// report is intact, shard 1's is torn, shard 3 never ran — resume must
+// merge exactly one from disk and launch exactly two.
+TEST(FleetResume, RevalidatesLandedReportsAndLaunchesOnlyTheRest) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_resume_partial");
+  const api::Result<shard::ShardPlan> plan =
+      shard::ShardPlan::partition(fleet_request(), 3);
+  ASSERT_TRUE(plan.ok());
+  for (std::uint32_t index = 1; index <= 2; ++index) {
+    const api::Result<shard::Report> report =
+        shard::run_shard(fleet_request(), plan.value(), index);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    ASSERT_TRUE(
+        shard::save_report(report.value(), shard_report_path(dir, index))
+            .ok());
+  }
+  {
+    // Tear shard 1's report in half, as a worker killed mid-write under
+    // the pre-atomic protocol would have.
+    const std::string path = shard_report_path(dir, 1);
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    const std::string bytes = os.str();
+    is.close();
+    std::ofstream(path, std::ios::binary)
+        << bytes.substr(0, bytes.size() / 2);
+  }
+  Manifest manifest;
+  manifest.fingerprint = plan.value().fingerprint();
+  manifest.num_shards = 3;
+  manifest.total_cells = plan.value().total_cells();
+  manifest.attempts = {1, 1, 0};
+  ASSERT_TRUE(save_manifest(manifest, manifest_path(dir)).ok());
+
+  FleetOptions options = base_options(launcher, dir, "ok");
+  options.resume = true;
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  expect_byte_identical(result);
+  EXPECT_EQ(result.value().resumed, 1u);    // shard 2, from disk
+  EXPECT_EQ(result.value().launches, 2u);   // shards 1 and 3
+  EXPECT_EQ(result.value().retries, 0u);
+}
+
+TEST(FleetResume, CompletedCampaignResumesWithZeroLaunches) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_resume_done");
+  FleetOptions options = base_options(launcher, dir, "ok");
+  const api::Result<FleetResult> first =
+      dispatch_fleet(fleet_request(), options);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  options.resume = true;
+  const api::Result<FleetResult> again =
+      dispatch_fleet(fleet_request(), options);
+  expect_byte_identical(again);
+  EXPECT_EQ(again.value().resumed, 3u);
+  EXPECT_EQ(again.value().launches, 0u);
+}
+
+TEST(FleetResume, ExhaustedManifestBudgetRefusesToRelaunch) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_resume_spent");
+  const api::Result<shard::ShardPlan> plan =
+      shard::ShardPlan::partition(fleet_request(), 3);
+  ASSERT_TRUE(plan.ok());
+  Manifest manifest;
+  manifest.fingerprint = plan.value().fingerprint();
+  manifest.num_shards = 3;
+  manifest.total_cells = plan.value().total_cells();
+  manifest.attempts = {3, 0, 0};  // shard 1 already burned every attempt
+  ASSERT_TRUE(save_manifest(manifest, manifest_path(dir)).ok());
+  FleetOptions options = base_options(launcher, dir, "ok");
+  options.resume = true;
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("already consumed 3 attempts"),
+            std::string::npos)
+      << result.status().to_string();
+}
+
+// The acceptance criterion for this PR: SIGKILL the *driver* (and its
+// whole process group, power-cut style) after two shards land, then
+// --resume. The merged CSV must be byte-identical to the uninterrupted
+// unsharded run, and the landed shards must not be re-executed.
+TEST(FleetResume, KilledDriverResumesByteIdenticalWithoutRerunningShards) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_driver_kill");
+  // The self-exec driver runs the campaign with shard 3's worker asleep
+  // forever, so shards 1 and 2 land and the campaign then idles.
+  WorkerCommand command;
+  command.argv = {self_exe(), "--fleet-driver", dir};
+  command.log_path = dir + "/driver.log";
+  const api::Result<WorkerHandle> handle = launcher.spawn(command);
+  ASSERT_TRUE(handle.ok()) << handle.status().to_string();
+  bool landed = false;
+  for (int i = 0; i < 6000 && !landed; ++i) {
+    landed = std::filesystem::exists(shard_report_path(dir, 1)) &&
+             std::filesystem::exists(shard_report_path(dir, 2)) &&
+             std::filesystem::exists(manifest_path(dir));
+    if (!landed) ::usleep(5000);
+  }
+  ASSERT_TRUE(landed) << "campaign never landed shards 1 and 2";
+  // Kill the driver's process group: the driver and its sleeping worker
+  // die between one instruction and the next, like a pulled plug.
+  ::kill(-handle.value().pid, SIGKILL);
+  std::optional<WorkerExit> exit;
+  for (int i = 0; i < 1000 && !exit.has_value(); ++i) {
+    exit = launcher.poll(*handle);
+    if (!exit.has_value()) ::usleep(5000);
+  }
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_TRUE(exit->signalled);
+
+  FleetOptions options = base_options(launcher, dir, "ok");
+  options.resume = true;
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  expect_byte_identical(result);
+  EXPECT_EQ(result.value().resumed, 2u);   // shards 1 and 2, from disk
+  EXPECT_EQ(result.value().launches, 1u);  // only shard 3 runs again
+}
+
+// ---------------------------------------------------------- preflight
+
+TEST(FleetPreflight, WorkDirCollidingWithAFileFailsFast) {
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_preflight_file");
+  const std::string blocker = dir + "/blocker";
+  std::ofstream(blocker) << "not a directory\n";
+  FleetOptions options = base_options(launcher, dir, "ok");
+  options.work_dir = blocker;
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(blocker), std::string::npos)
+      << result.status().to_string();
+}
+
+TEST(FleetPreflight, InjectedReadOnlyVolumeFailsBeforeAnyLaunch) {
+  if (!fail::compiled()) GTEST_SKIP() << "failpoints compiled out";
+  ExecLauncher launcher;
+  const std::string dir = temp_dir("xoridx_fleet_preflight_erofs");
+  ASSERT_TRUE(fail::configure("fleet.preflight=error(EROFS)").ok());
+  FleetOptions options = base_options(launcher, dir, "ok");
+  const api::Result<FleetResult> result =
+      dispatch_fleet(fleet_request(), options);
+  fail::reset();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("failed its write preflight"),
+            std::string::npos)
+      << result.status().to_string();
+  EXPECT_NE(result.status().message().find(dir), std::string::npos)
+      << result.status().to_string();
+}
+
 }  // namespace
 }  // namespace xoridx::fleet
 
@@ -408,11 +707,33 @@ int run_fleet_worker(int argc, char** argv) {
   return 0;
 }
 
+/// Self-exec fleet *driver* for the killed-driver resume test: runs the
+/// canonical campaign with shard 3's worker sleeping forever, so shards
+/// 1 and 2 land and the campaign then idles until the test SIGKILLs the
+/// whole process group. setpgid makes this process the group leader so
+/// one kill(-pid) takes out the driver and its workers together.
+int run_fleet_driver(int argc, char** argv) {
+  using namespace xoridx;
+  if (argc < 3) return 64;
+  ::setpgid(0, 0);
+  const std::string work_dir = argv[2];
+  fleet::ExecLauncher launcher;
+  fleet::FleetOptions options =
+      fleet::base_options(launcher, work_dir, "sleep_always");
+  options.worker_argv =
+      fleet::worker_argv("sleep_always", work_dir, /*only_shard=*/3);
+  const api::Result<fleet::FleetResult> result =
+      fleet::dispatch_fleet(fleet::fleet_request(), options);
+  return result.ok() ? 0 : 70;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--fleet-worker") == 0)
     return run_fleet_worker(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "--fleet-driver") == 0)
+    return run_fleet_driver(argc, argv);
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();
 }
